@@ -1,0 +1,49 @@
+"""Shared driver for the Fig. 7/8/9 ISC analysis panels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import PipelineCache, bench_seed, write_result
+from repro.experiments.figures import isc_analysis
+
+
+def run_panels(benchmark, cache: PipelineCache, index: int, paper_notes: str) -> None:
+    """Compute and report the four analysis panels for one testbench."""
+    instance = cache.instance(index)
+
+    result = benchmark.pedantic(
+        lambda: isc_analysis(
+            instance.network, label=instance.testbench.label, rng=bench_seed()
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    outliers = " ".join(f"{v:.2f}" for v in result.outlier_ratio_series)
+    norm_util = " ".join(f"{v:.2f}" for v in result.normalized_utilization_series)
+    cps = " ".join(f"{v:.2f}" for v in result.average_preference_series)
+    histogram = ", ".join(f"{s}x{s}:{c}" for s, c in result.crossbar_size_histogram.items())
+    lines = [
+        f"testbench: {result.testbench_label}",
+        f"baseline (FullCro) utilization: {result.baseline_utilization:.4f}",
+        f"(a) outlier ratio per iteration : {outliers}",
+        f"    final outlier ratio: {result.final_outlier_ratio:.1%} "
+        f"({result.clustered_ratio:.1%} clustered)",
+        f"(b) normalized utilization      : {norm_util}",
+        f"    average CP per iteration    : {cps}",
+        f"(c) crossbar size histogram     : {histogram}",
+        f"(d) avg fanin+fanout vs baseline: {result.average_sum_vs_baseline:.2f} "
+        f"(paper: ~0.80)",
+        paper_notes,
+    ]
+    write_result(f"fig{6 + index}_tb{index}_isc_analysis", "\n".join(lines))
+
+    # shape assertions shared by all three testbenches
+    assert result.final_outlier_ratio < 0.35
+    assert result.average_sum_vs_baseline < 1.1
+    # normalized utilization ends near/below 1 (the stop condition)
+    assert result.normalized_utilization_series[-1] < 1.5
+    # panel (d) series are per-neuron and sorted
+    assert result.fanin_fanout_sum.shape[0] == instance.network.size
+    assert np.all(np.diff(result.fanin_fanout_sum) >= -1e-12)

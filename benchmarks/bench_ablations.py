@@ -1,0 +1,54 @@
+"""Ablations (extension) — the design choices DESIGN.md calls out.
+
+Not part of the paper's evaluation: these benches quantify the
+contribution of (1) the partial selection strategy, (2) the CP = m²/s³
+preference definition, and (3) the crossbar library range, all on
+testbench 2.
+"""
+
+from benchmarks.conftest import bench_seed, write_result
+from repro.experiments.ablations import (
+    ablate_library_range,
+    ablate_partial_selection,
+    ablate_preference_definition,
+    format_ablation,
+)
+
+
+def test_ablation_partial_selection(benchmark, cache):
+    network = cache.network(2)
+    points = benchmark.pedantic(
+        lambda: ablate_partial_selection(network, rng=bench_seed()),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("ablation_partial_selection", format_ablation(points))
+    paper = next(p for p in points if "paper" in p.label)
+    greedy = next(p for p in points if "no partial selection" in p.label)
+    # partial selection buys higher average crossbar utilization
+    assert paper.average_utilization >= greedy.average_utilization * 0.95
+
+
+def test_ablation_preference_definition(benchmark, cache):
+    network = cache.network(2)
+    points = benchmark.pedantic(
+        lambda: ablate_preference_definition(network, rng=bench_seed()),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("ablation_preference_definition", format_ablation(points))
+    assert all(p.crossbars > 0 for p in points)
+
+
+def test_ablation_library_range(benchmark, cache):
+    network = cache.network(2)
+    points = benchmark.pedantic(
+        lambda: ablate_library_range(network, rng=bench_seed()),
+        rounds=1,
+        iterations=1,
+    )
+    write_result("ablation_library_range", format_ablation(points))
+    paper = next(p for p in points if "paper" in p.label)
+    only64 = next(p for p in points if p.label == "only 64")
+    # the graded library wastes fewer memristors than the single-size one
+    assert paper.average_utilization >= only64.average_utilization

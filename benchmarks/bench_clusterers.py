@@ -1,0 +1,41 @@
+"""Clustering-engine ablation (extension): GCP vs greedy modularity in ISC.
+
+Swaps ISC's inner clusterer (Algorithm 3 line 3) between the paper's
+spectral GCP and a greedy-modularity baseline on testbench 1.
+"""
+
+from benchmarks.conftest import bench_seed, write_result
+from repro.clustering import iterative_spectral_clustering
+from repro.clustering.modularity import modularity_clustering
+from repro.mapping import fullcro_utilization
+
+
+def test_clusterer_comparison(benchmark, cache):
+    network = cache.network(1)
+    threshold = fullcro_utilization(network, 64)
+
+    def compute():
+        spectral = cache.isc(1)
+        modular = iterative_spectral_clustering(
+            network,
+            utilization_threshold=threshold,
+            clusterer=modularity_clustering,
+            rng=bench_seed(),
+        )
+        return spectral, modular
+
+    spectral, modular = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    lines = []
+    for name, isc in (("spectral GCP (paper)", spectral), ("greedy modularity", modular)):
+        lines.append(
+            f"{name}: {isc.iterations} iterations, "
+            f"{len(isc.crossbars)} crossbars, "
+            f"outliers {isc.outlier_ratio:.1%}, "
+            f"avg utilization {isc.average_utilization:.3f}"
+        )
+    write_result("clusterer_comparison", "\n".join(lines))
+
+    spectral.validate()
+    modular.validate()
+    assert modular.outlier_ratio <= 1.0

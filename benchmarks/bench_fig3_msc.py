@@ -1,0 +1,30 @@
+"""Figure 3 — MSC clustering of a 400×400 network.
+
+Paper reference: one MSC pass on the 400-neuron network groups the
+connections into clusters, but "the outliers in Figure 3(b) still count
+for 57 % of total connections".
+"""
+
+from benchmarks.conftest import bench_seed, write_result
+from repro.experiments.figures import figure3
+
+
+def test_fig3_msc_on_400_network(benchmark, cache):
+    network = cache.network(2)  # testbench 2 is the paper's 400x400 net
+
+    result = benchmark.pedantic(
+        lambda: figure3(network, rng=bench_seed()), rounds=1, iterations=1
+    )
+
+    lines = [
+        f"network: n={result.n}, connections={result.connections}",
+        f"MSC with k = ceil(n/64) = {result.k}",
+        f"cluster sizes: {sorted(result.cluster_sizes, reverse=True)}",
+        f"outlier ratio after one MSC: {result.outlier_ratio:.1%}   (paper: 57 %)",
+    ]
+    write_result("fig3_msc", "\n".join(lines))
+
+    assert 0.0 <= result.outlier_ratio <= 1.0
+    # one MSC pass leaves a substantial outlier fraction (the paper's
+    # motivation for ISC)
+    assert result.outlier_ratio > 0.2

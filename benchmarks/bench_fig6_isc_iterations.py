@@ -1,0 +1,31 @@
+"""Figure 6 — ISC iterations with partial selection.
+
+Paper reference: on the 400×400 network, "after the 11th iteration, most
+of the connections are clustered, leaving an almost empty remaining
+network, i.e., < 5 % outlier ratio"; the top 25 % CP clusters are removed
+per iteration.
+"""
+
+from benchmarks.conftest import write_result
+
+
+def test_fig6_isc_iterations(benchmark, cache):
+    isc = benchmark.pedantic(lambda: cache.isc(2), rounds=1, iterations=1)
+
+    series = " ".join(
+        f"{record.outlier_ratio_after:.2f}" for record in isc.records
+    )
+    lines = [
+        f"iterations: {isc.iterations}   (paper: 11)",
+        f"outlier ratio per iteration: {series}",
+        f"final outlier ratio: {isc.outlier_ratio:.1%}   (paper: < 5 %)",
+        f"crossbars placed: {len(isc.crossbars)}",
+    ]
+    write_result("fig6_isc_iterations", "\n".join(lines))
+
+    # ISC makes strong progress over the iterations
+    assert isc.outlier_ratio < 0.3
+    assert 3 <= isc.iterations <= 50
+    # outlier series decreases monotonically
+    ratios = [record.outlier_ratio_after for record in isc.records]
+    assert all(b <= a + 1e-12 for a, b in zip(ratios, ratios[1:]))

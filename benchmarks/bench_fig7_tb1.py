@@ -1,0 +1,18 @@
+"""Figure 7 — ISC analysis of testbench 1 (M=15, N=300).
+
+Paper reference: the outlier ratio drops quickly over the iterations,
+normalized utilization and CP decrease overall with occasional rises
+(partial selection), most crossbars are mid-to-large, and the average
+total fanin+fanout lands near 80 % of the baseline.
+"""
+
+from benchmarks._isc_panels import run_panels
+
+
+def test_fig7_tb1_panels(benchmark, cache):
+    run_panels(
+        benchmark,
+        cache,
+        index=1,
+        paper_notes="paper: outliers drop fast; similar trends as Fig. 9 (testbench 3)",
+    )

@@ -1,0 +1,17 @@
+"""Figure 8 — ISC analysis of testbench 2 (M=20, N=400).
+
+Paper reference: same four panels as Fig. 7/9; testbench 2 behaves like
+the other two (the paper reports "similar results are observed in
+testbench 1 and 2").
+"""
+
+from benchmarks._isc_panels import run_panels
+
+
+def test_fig8_tb2_panels(benchmark, cache):
+    run_panels(
+        benchmark,
+        cache,
+        index=2,
+        paper_notes="paper: similar trends as Fig. 9 (testbench 3)",
+    )

@@ -1,0 +1,21 @@
+"""Figure 9 — ISC analysis of testbench 3 (M=30, N=500).
+
+Paper reference: "after 14 iterations, 95 % of connections are clustered";
+normalized utilization and CP keep decreasing with slight rises from the
+partial selection strategy; most crossbar sizes lie between 32 and 64; the
+average total fanin+fanout is only 80 % of the baseline design's.
+"""
+
+from benchmarks._isc_panels import run_panels
+
+
+def test_fig9_tb3_panels(benchmark, cache):
+    run_panels(
+        benchmark,
+        cache,
+        index=3,
+        paper_notes=(
+            "paper: 95% clustered after 14 iterations; sizes mostly 32-64; "
+            "avg fanin+fanout 80% of baseline"
+        ),
+    )

@@ -1,0 +1,100 @@
+"""Shared benchmark fixtures: cached testbenches and physical designs.
+
+The benchmark harness regenerates every table and figure of the paper.
+Heavy artefacts (testbench networks, ISC runs, placed-and-routed designs)
+are computed once per session and shared across benchmark modules, so the
+whole suite stays in the minutes range.
+
+Results are printed *and* written to ``benchmarks/results/`` so that
+captured pytest output never hides them.
+
+Environment knobs
+-----------------
+``REPRO_BENCH_SEED``
+    Seed for every benchmark (default 42).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict
+
+import pytest
+
+from repro.clustering import iterative_spectral_clustering
+from repro.core.autoncs import AutoNCS
+from repro.experiments.testbenches import TESTBENCHES, build_testbench
+from repro.mapping import fullcro_utilization
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_seed() -> int:
+    """The session seed (REPRO_BENCH_SEED, default 42)."""
+    return int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+def write_result(name: str, text: str) -> None:
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+class PipelineCache:
+    """Session-wide cache of testbenches, ISC runs and physical designs."""
+
+    def __init__(self) -> None:
+        self.seed = bench_seed()
+        self._instances: Dict[int, object] = {}
+        self._isc: Dict[int, object] = {}
+        self._designs: Dict[tuple, object] = {}
+        self.flow = AutoNCS()
+
+    def instance(self, index: int):
+        """The generated testbench (patterns + Hopfield + network)."""
+        if index not in self._instances:
+            self._instances[index] = build_testbench(index, rng=self.seed)
+        return self._instances[index]
+
+    def network(self, index: int):
+        """The testbench connection matrix."""
+        return self.instance(index).network
+
+    def isc(self, index: int):
+        """The ISC run for a testbench (threshold = FullCro utilization)."""
+        if index not in self._isc:
+            network = self.network(index)
+            threshold = fullcro_utilization(network, 64)
+            self._isc[index] = iterative_spectral_clustering(
+                network, utilization_threshold=threshold, rng=self.seed
+            )
+        return self._isc[index]
+
+    def design(self, index: int, kind: str):
+        """A placed-and-routed design; ``kind`` is 'autoncs' or 'fullcro'."""
+        key = (index, kind)
+        if key not in self._designs:
+            network = self.network(index)
+            if kind == "autoncs":
+                self._designs[key] = self.flow.run(network, rng=self.seed).design
+            elif kind == "fullcro":
+                self._designs[key] = self.flow.run_baseline(network, rng=self.seed)
+            else:  # pragma: no cover - internal misuse
+                raise ValueError(f"unknown design kind {kind!r}")
+        return self._designs[key]
+
+
+@pytest.fixture(scope="session")
+def cache() -> PipelineCache:
+    """The shared pipeline cache."""
+    return PipelineCache()
+
+
+@pytest.fixture(scope="session")
+def testbenches():
+    """The three paper testbench descriptors."""
+    return TESTBENCHES

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The pyproject.toml intentionally omits a ``[build-system]`` table so that
+``pip install -e .`` works in fully offline environments (PEP 660 editable
+installs require the ``wheel`` package, which may be unavailable without
+network access).  With this shim pip falls back to the legacy
+``setup.py develop`` editable path, which has no such requirement.
+"""
+
+from setuptools import setup
+
+setup()

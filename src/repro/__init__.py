@@ -1,0 +1,38 @@
+"""AutoNCS — an EDA framework for large-scale hybrid neuromorphic systems.
+
+A faithful Python reproduction of Wen et al., "An EDA Framework for Large
+Scale Hybrid Neuromorphic Computing Systems" (DAC 2015).  The library
+covers the whole stack:
+
+* :mod:`repro.networks` — connection matrices, QR-pattern Hopfield
+  testbenches, LDPC and synthetic sparse networks;
+* :mod:`repro.clustering` — MSC, GCP, traversing, crossbar preference, ISC;
+* :mod:`repro.hardware` — technology/device/cell models and analog
+  crossbar simulation;
+* :mod:`repro.mapping` — netlists, the FullCro baseline, AutoNCS mapping;
+* :mod:`repro.physical` — analytical placement, maze routing, cost;
+* :mod:`repro.core` — the end-to-end :class:`~repro.core.autoncs.AutoNCS`
+  pipeline;
+* :mod:`repro.experiments` — every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro.networks import random_sparse_network
+>>> from repro.core import AutoNCS
+>>> network = random_sparse_network(100, 0.05, rng=42)
+>>> report = AutoNCS().compare(network, rng=42)
+>>> report.wirelength_reduction  # doctest: +SKIP
+41.3
+"""
+
+from repro.core import AutoNCS, AutoNcsConfig, AutoNcsResult, ComparisonReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoNCS",
+    "AutoNcsConfig",
+    "AutoNcsResult",
+    "ComparisonReport",
+    "__version__",
+]

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compare``
+    Run AutoNCS and FullCro on a network (generated or loaded) and print
+    the Table-1-style comparison.
+``testbench``
+    Generate one of the paper testbenches, report its statistics and
+    recognition rate, optionally save the network.
+``cluster``
+    Run ISC on a network and print the per-iteration statistics.
+``render``
+    Render a saved network (and optional clustering) to SVG.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.clustering import iterative_spectral_clustering
+from repro.core import AutoNCS
+from repro.core.config import AutoNcsConfig, fast_config
+from repro.experiments.testbenches import build_testbench
+from repro.mapping import fullcro_utilization
+from repro.networks import random_sparse_network
+from repro.networks.connection_matrix import ConnectionMatrix
+from repro.networks.io import load_network_npz, save_network_npz
+from repro.viz import matrix_to_svg, save_svg
+
+
+def _load_or_generate(args: argparse.Namespace) -> ConnectionMatrix:
+    if getattr(args, "load", None):
+        return load_network_npz(args.load)
+    return random_sparse_network(
+        args.neurons, args.density, rng=args.seed, name="cli-network"
+    )
+
+
+def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--load", help="load a network saved with 'testbench --save'")
+    parser.add_argument("--neurons", type=int, default=160,
+                        help="generated network size (default 160)")
+    parser.add_argument("--density", type=float, default=0.05,
+                        help="generated connection density (default 0.05)")
+    parser.add_argument("--seed", type=int, default=42, help="RNG seed (default 42)")
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    network = _load_or_generate(args)
+    config: AutoNcsConfig = fast_config() if args.fast else AutoNcsConfig()
+    flow = AutoNCS(config)
+    print(f"network: {network}")
+    report = flow.compare(network, rng=args.seed)
+    print(report.format_table())
+    if args.verbose:
+        from repro.core.summary import summarize_design
+
+        for design in (report.autoncs, report.fullcro):
+            print()
+            print(summarize_design(design, technology=config.technology).format())
+    return 0
+
+
+def _cmd_testbench(args: argparse.Namespace) -> int:
+    instance = build_testbench(args.index, rng=args.seed)
+    network = instance.network
+    print(f"testbench       : {instance.testbench.label}")
+    print(f"network         : {network}")
+    print(f"target sparsity : {instance.testbench.target_sparsity:.4f}")
+    if not args.skip_recognition:
+        rate = instance.recognition_rate(rng=args.seed, trials_per_pattern=2)
+        print(f"recognition rate: {rate:.1%} (paper requires > 90 %)")
+    if args.save:
+        save_network_npz(network, args.save)
+        print(f"saved network to {args.save}")
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    network = _load_or_generate(args)
+    threshold = fullcro_utilization(network, 64)
+    print(f"network: {network}")
+    print(f"ISC stop threshold (FullCro utilization): {threshold:.4f}")
+    isc = iterative_spectral_clustering(
+        network, utilization_threshold=threshold, rng=args.seed
+    )
+    for record in isc.records:
+        print(
+            f"  iter {record.iteration:2d}: +{record.crossbars_placed:3d} crossbars, "
+            f"avg u = {record.average_utilization:.3f}, "
+            f"outliers left = {record.outlier_ratio_after:.1%}"
+        )
+    print(f"crossbars: {len(isc.crossbars)}  sizes: {isc.crossbar_size_histogram()}")
+    print(f"discrete synapses: {len(isc.outliers)} ({isc.outlier_ratio:.1%})")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    network = load_network_npz(args.network)
+    clusters = None
+    if args.clustered:
+        threshold = fullcro_utilization(network, 64)
+        isc = iterative_spectral_clustering(
+            network, utilization_threshold=threshold, rng=args.seed
+        )
+        clusters = [assignment.members for assignment in isc.crossbars]
+    svg = matrix_to_svg(network, clusters=clusters, title=network.name)
+    save_svg(svg, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AutoNCS: EDA flow for hybrid memristor neuromorphic systems",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="AutoNCS vs FullCro comparison")
+    _add_network_arguments(compare)
+    compare.add_argument("--fast", action="store_true",
+                         help="reduced-effort physical design (quick preview)")
+    compare.add_argument("--verbose", action="store_true",
+                         help="print the full per-design datasheets")
+    compare.set_defaults(func=_cmd_compare)
+
+    testbench = sub.add_parser("testbench", help="generate a paper testbench")
+    testbench.add_argument("index", type=int, choices=(1, 2, 3),
+                           help="paper testbench index")
+    testbench.add_argument("--seed", type=int, default=42)
+    testbench.add_argument("--save", help="save the network as .npz")
+    testbench.add_argument("--skip-recognition", action="store_true")
+    testbench.set_defaults(func=_cmd_testbench)
+
+    cluster = sub.add_parser("cluster", help="run ISC and show the iterations")
+    _add_network_arguments(cluster)
+    cluster.set_defaults(func=_cmd_cluster)
+
+    render = sub.add_parser("render", help="render a saved network to SVG")
+    render.add_argument("network", help="a .npz network file")
+    render.add_argument("--output", default="network.svg")
+    render.add_argument("--clustered", action="store_true",
+                        help="overlay the ISC crossbar clusters")
+    render.add_argument("--seed", type=int, default=42)
+    render.set_defaults(func=_cmd_render)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

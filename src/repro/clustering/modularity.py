@@ -1,0 +1,81 @@
+"""Modularity-based clustering baseline (extension).
+
+Spectral clustering is the paper's choice, but community detection is the
+other obvious family for grouping connections.  This baseline runs greedy
+modularity maximization (Clauset–Newman–Moore, via networkx) and then
+splits oversized communities with the same 2-means machinery GCP uses, so
+it can slot into ISC as a drop-in alternative for ablation studies.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import networkx as nx
+import numpy as np
+
+from repro.clustering.result import ClusteringResult, clusters_from_labels
+from repro.networks.connection_matrix import ConnectionMatrix
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def modularity_clustering(
+    network: Union[ConnectionMatrix, np.ndarray],
+    max_size: int,
+    rng: RngLike = None,
+) -> ClusteringResult:
+    """Cluster by greedy modularity, size-capped by recursive bisection.
+
+    Returns a partition equivalent in contract to GCP's: every neuron in
+    exactly one cluster, no cluster above ``max_size``.
+    """
+    rng = ensure_rng(rng)
+    if isinstance(network, ConnectionMatrix):
+        similarity = network.symmetrized()
+    else:
+        similarity = np.asarray(network, dtype=float)
+        similarity = np.maximum(similarity, similarity.T)
+    n = similarity.shape[0]
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    if n == 0:
+        raise ValueError("cannot cluster an empty network")
+    graph = nx.from_numpy_array(similarity)
+    if graph.number_of_edges() == 0:
+        # no structure at all: contiguous chunks of max_size
+        labels = np.arange(n) // max_size
+        return ClusteringResult(
+            clusters=clusters_from_labels(labels), n=n, method="modularity",
+            metadata={"max_size": max_size, "communities": int(labels.max()) + 1},
+        )
+    communities = nx.algorithms.community.greedy_modularity_communities(
+        graph, weight="weight"
+    )
+    labels = np.full(n, -1, dtype=int)
+    for index, community in enumerate(communities):
+        labels[list(community)] = index
+    # Degree-ordered bisection of oversized communities.
+    next_label = labels.max() + 1
+    stack = list(np.unique(labels))
+    degrees = similarity.sum(axis=1)
+    while stack:
+        value = stack.pop()
+        members = np.nonzero(labels == value)[0]
+        if members.size <= max_size:
+            continue
+        # Split along the community's internal structure: order members by
+        # degree inside the community and cut in half — cheap and stable.
+        internal = similarity[np.ix_(members, members)].sum(axis=1)
+        order = members[np.argsort(internal + 1e-9 * degrees[members])]
+        half = order[: members.size // 2]
+        labels[half] = next_label
+        stack.append(value)
+        stack.append(next_label)
+        next_label += 1
+    clusters = clusters_from_labels(labels)
+    return ClusteringResult(
+        clusters=clusters,
+        n=n,
+        method="modularity",
+        metadata={"max_size": max_size, "communities": len(communities)},
+    )

@@ -1,0 +1,57 @@
+"""Crossbar preference, CP (paper Sec. 3.1).
+
+CP estimates the circuit-cost reduction obtained by replacing discrete
+synapses with a crossbar.  For a crossbar of size ``s`` carrying ``m``
+utilized connections (utilization ``u = m / s²``) the paper requires:
+
+(a) fixed ``s``: CP grows with ``m`` (more synapses absorbed → less routing);
+(b) fixed ``m``: CP shrinks with ``s`` (bigger crossbar → more area).
+
+and proposes ``CP = (m / s) · u = m² / s³``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def crossbar_preference(utilized_connections: int, size: int) -> float:
+    """Compute ``CP = m·u/s = m²/s³`` for ``m`` connections on an ``s×s`` crossbar."""
+    m = int(utilized_connections)
+    s = int(size)
+    if s < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if m < 0:
+        raise ValueError(f"utilized_connections must be >= 0, got {m}")
+    if m > s * s:
+        raise ValueError(
+            f"utilized_connections ({m}) cannot exceed crossbar capacity ({s * s})"
+        )
+    return (m * m) / float(s**3)
+
+
+def crossbar_utilization(utilized_connections: int, size: int) -> float:
+    """``u = m / s²`` — the crossbar utilization of Sec. 3.1."""
+    m = int(utilized_connections)
+    s = int(size)
+    if s < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if m < 0 or m > s * s:
+        raise ValueError(f"utilized_connections must lie in [0, {s * s}], got {m}")
+    return m / float(s * s)
+
+
+def minimum_satisfiable_size(cluster_size: int, sizes: Sequence[int]) -> Optional[int]:
+    """Smallest library crossbar that fits a cluster (Algorithm 3 line 11).
+
+    Returns ``None`` when no crossbar in ``sizes`` is large enough.
+    """
+    if cluster_size < 0:
+        raise ValueError(f"cluster_size must be >= 0, got {cluster_size}")
+    candidates = sorted(int(s) for s in sizes)
+    if not candidates:
+        raise ValueError("sizes must be non-empty")
+    for s in candidates:
+        if s >= cluster_size:
+            return s
+    return None

@@ -1,0 +1,109 @@
+"""Cluster containers shared by MSC / GCP / traversing / ISC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """An immutable set of neuron indices grouped by a clustering algorithm."""
+
+    members: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        members = tuple(int(m) for m in self.members)
+        if len(set(members)) != len(members):
+            raise ValueError("cluster members must be unique")
+        object.__setattr__(self, "members", tuple(sorted(members)))
+
+    @property
+    def size(self) -> int:
+        """Number of neurons in the cluster."""
+        return len(self.members)
+
+    def __iter__(self):
+        return iter(self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, item: int) -> bool:
+        return int(item) in self.members
+
+
+@dataclass
+class ClusteringResult:
+    """Output of a clustering run: a partition of ``range(n)`` into clusters.
+
+    Attributes
+    ----------
+    clusters:
+        Non-empty clusters; together they cover every neuron exactly once.
+    n:
+        Number of neurons that were clustered.
+    method:
+        Human-readable algorithm name ("msc", "gcp", "traversing").
+    """
+
+    clusters: List[Cluster]
+    n: int
+    method: str = "msc"
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        covered: set = set()
+        for cluster in self.clusters:
+            overlap = covered.intersection(cluster.members)
+            if overlap:
+                raise ValueError(f"clusters overlap on neurons {sorted(overlap)[:5]}")
+            covered.update(cluster.members)
+        if covered and (min(covered) < 0 or max(covered) >= self.n):
+            raise ValueError("cluster members out of range")
+        if len(covered) != self.n:
+            missing = sorted(set(range(self.n)) - covered)
+            raise ValueError(f"clusters must cover all {self.n} neurons; missing {missing[:5]}")
+
+    @property
+    def k(self) -> int:
+        """Number of clusters."""
+        return len(self.clusters)
+
+    def sizes(self) -> List[int]:
+        """Cluster sizes in cluster order."""
+        return [c.size for c in self.clusters]
+
+    def max_size(self) -> int:
+        """Size of the largest cluster (0 for an empty result)."""
+        return max(self.sizes(), default=0)
+
+    def labels(self) -> np.ndarray:
+        """Per-neuron cluster index array of shape ``(n,)``."""
+        labels = np.full(self.n, -1, dtype=int)
+        for idx, cluster in enumerate(self.clusters):
+            labels[list(cluster.members)] = idx
+        return labels
+
+    def permutation(self) -> np.ndarray:
+        """Neuron order grouping clusters contiguously (for matrix plots)."""
+        order: List[int] = []
+        for cluster in self.clusters:
+            order.extend(cluster.members)
+        return np.asarray(order, dtype=int)
+
+
+def clusters_from_labels(labels: Sequence[int]) -> List[Cluster]:
+    """Build :class:`Cluster` objects from a per-point label vector.
+
+    Empty labels are skipped; cluster order follows ascending label value.
+    """
+    labels = np.asarray(list(labels), dtype=int)
+    clusters = []
+    for value in np.unique(labels):
+        members = np.nonzero(labels == value)[0]
+        if members.size:
+            clusters.append(Cluster(tuple(int(m) for m in members)))
+    return clusters

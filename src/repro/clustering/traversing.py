@@ -1,0 +1,75 @@
+"""The traversing baseline for cluster-size limiting (paper Sec. 3.3).
+
+"The limit of crossbar size can be passively imposed by exhaustively
+increasing the value of k in MSC until the size of the largest crossbar is
+below the size limit." — the paper uses this as the runtime baseline that
+GCP beats by roughly 2× (Fig. 4: 190 ms vs 106 ms on the 400×400 net).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+import numpy as np
+
+from repro.clustering.kmeans import kmeans
+from repro.clustering.result import ClusteringResult, clusters_from_labels
+from repro.clustering.spectral import modified_spectral_clustering, spectral_embedding
+from repro.networks.connection_matrix import ConnectionMatrix
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def traversing_clustering(
+    network: Union[ConnectionMatrix, np.ndarray],
+    max_size: int,
+    rng: RngLike = None,
+    reuse_embedding: bool = False,
+) -> ClusteringResult:
+    """Scan ``k`` upward until the largest MSC cluster fits ``max_size``.
+
+    Parameters
+    ----------
+    reuse_embedding:
+        The paper's traversing baseline "exhaustively increas[es] the value
+        of k in MSC", and each MSC run includes its own eigendecomposition
+        — the default (False) follows that literally.  Set True to share
+        one full eigenbasis across the scan, a cheaper variant.
+
+    Returns
+    -------
+    ClusteringResult
+        Partition with ``max(cluster sizes) <= max_size``,
+        ``method == "traversing"``.
+    """
+    rng = ensure_rng(rng)
+    if isinstance(network, ConnectionMatrix):
+        n = network.size
+    else:
+        n = np.asarray(network).shape[0]
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    start_k = max(1, min(n, math.ceil(n / max_size)))
+    if reuse_embedding:
+        basis, _ = spectral_embedding(network, k=None)
+    labels = None
+    attempts = 0
+    for k in range(start_k, n + 1):
+        attempts += 1
+        if reuse_embedding:
+            km = kmeans(basis[:, :k], k, max_iterations=40, rng=rng, repair_empty=False)
+            labels = km.labels
+        else:
+            result = modified_spectral_clustering(network, k, rng=rng)
+            labels = result.labels()
+        sizes = np.bincount(labels, minlength=k)
+        if sizes.max() <= max_size:
+            clusters = clusters_from_labels(labels)
+            return ClusteringResult(
+                clusters=clusters,
+                n=n,
+                method="traversing",
+                metadata={"max_size": max_size, "attempts": attempts, "final_k": k},
+            )
+    # k == n always satisfies any max_size >= 1, so we cannot get here.
+    raise RuntimeError("traversing failed to satisfy the size limit")  # pragma: no cover

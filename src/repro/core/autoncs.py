@@ -1,0 +1,140 @@
+"""The AutoNCS driver (paper Fig. 2).
+
+``AutoNCS.run`` executes the complete flow on a network:
+
+1. ISC (MSC + GCP + partial selection) clusters the connections;
+2. the clusters map to library crossbars, outliers to discrete synapses;
+3. the customized analytical placement and maze routing implement the
+   netlist;
+4. eq. (3) evaluates the physical cost.
+
+``AutoNCS.run_baseline`` runs the same physical flow on the brute-force
+FullCro mapping, and ``AutoNCS.compare`` produces the Table 1 comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.clustering.isc import IscResult, iterative_spectral_clustering
+from repro.core.config import AutoNcsConfig
+from repro.core.report import ComparisonReport
+from repro.hardware.library import CrossbarLibrary
+from repro.mapping.autoncs_mapping import autoncs_mapping
+from repro.mapping.fullcro import fullcro_mapping, fullcro_utilization
+from repro.mapping.netlist import MappingResult
+from repro.networks.connection_matrix import ConnectionMatrix
+from repro.physical.cost import evaluate_cost
+from repro.physical.layout import PhysicalDesign
+from repro.physical.placement.placer import place
+from repro.physical.routing.router import route
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class AutoNcsResult:
+    """Everything the AutoNCS flow produced for one network."""
+
+    isc: IscResult
+    mapping: MappingResult
+    design: PhysicalDesign
+    metadata: dict = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        """Scalar summary: mapping stats plus physical cost."""
+        summary = self.mapping.summary()
+        summary.update(self.design.summary())
+        summary["isc_iterations"] = self.isc.iterations
+        summary["outlier_ratio"] = self.isc.outlier_ratio
+        return summary
+
+
+def implement_mapping(
+    mapping: MappingResult,
+    config: AutoNcsConfig,
+    rng: RngLike = None,
+) -> PhysicalDesign:
+    """Run placement, routing and cost evaluation on a mapped design."""
+    rng = ensure_rng(rng)
+    placement = place(
+        mapping.netlist, technology=config.technology, config=config.placement, rng=rng
+    )
+    routing = route(
+        mapping.netlist, placement, technology=config.technology, config=config.routing
+    )
+    cost = evaluate_cost(
+        mapping.netlist,
+        placement,
+        routing,
+        technology=config.technology,
+        weights=config.cost_weights,
+    )
+    return PhysicalDesign(mapping=mapping, placement=placement, routing=routing, cost=cost)
+
+
+class AutoNCS:
+    """The end-to-end EDA flow for hybrid memristor NCS designs.
+
+    Example
+    -------
+    >>> from repro.networks import random_sparse_network
+    >>> from repro.core import AutoNCS
+    >>> net = random_sparse_network(80, 0.06, rng=7)
+    >>> result = AutoNCS().run(net, rng=7)
+    >>> result.isc.outlier_ratio <= 1.0
+    True
+    """
+
+    def __init__(self, config: Optional[AutoNcsConfig] = None) -> None:
+        self.config = config if config is not None else AutoNcsConfig()
+        self.library = CrossbarLibrary(
+            sizes=self.config.crossbar_sizes, technology=self.config.technology
+        )
+
+    # ------------------------------------------------------------------
+    def cluster(self, network: ConnectionMatrix, rng: RngLike = None) -> IscResult:
+        """Run ISC with the configured library and threshold."""
+        threshold = self.config.utilization_threshold
+        if threshold is None:
+            threshold = fullcro_utilization(network, self.library.max_size)
+        return iterative_spectral_clustering(
+            network,
+            sizes=self.config.crossbar_sizes,
+            utilization_threshold=threshold,
+            selection_quantile=self.config.selection_quantile,
+            max_iterations=self.config.max_isc_iterations,
+            rng=rng,
+        )
+
+    def run(self, network: ConnectionMatrix, rng: RngLike = None) -> AutoNcsResult:
+        """Execute the full AutoNCS flow on ``network``."""
+        rng = ensure_rng(rng)
+        isc = self.cluster(network, rng=rng)
+        mapping = autoncs_mapping(isc, library=self.library)
+        design = implement_mapping(mapping, self.config, rng=rng)
+        return AutoNcsResult(isc=isc, mapping=mapping, design=design)
+
+    def run_baseline(self, network: ConnectionMatrix, rng: RngLike = None) -> PhysicalDesign:
+        """Execute the physical flow on the FullCro brute-force mapping."""
+        rng = ensure_rng(rng)
+        mapping = fullcro_mapping(network, library=self.library)
+        return implement_mapping(mapping, self.config, rng=rng)
+
+    def compare(
+        self,
+        network: ConnectionMatrix,
+        label: Optional[str] = None,
+        rng: RngLike = None,
+    ) -> ComparisonReport:
+        """Run both flows and report the Table 1 comparison."""
+        rng = ensure_rng(rng)
+        result = self.run(network, rng=rng)
+        baseline = self.run_baseline(network, rng=rng)
+        return ComparisonReport(
+            label=label if label is not None else network.name,
+            autoncs=result.design,
+            fullcro=baseline,
+            metadata={"isc_iterations": result.isc.iterations,
+                      "outlier_ratio": result.isc.outlier_ratio},
+        )

@@ -1,0 +1,74 @@
+"""Paper experiments: the three testbenches and every table/figure.
+
+Each ``figure*``/``table1`` function returns plain dataclasses of series
+and rows so the benchmark harness can print (and persist) exactly what the
+paper plots, without any plotting dependency.
+"""
+
+from repro.experiments.ablations import (
+    AblationPoint,
+    ablate_library_range,
+    ablate_partial_selection,
+    ablate_preference_definition,
+    format_ablation,
+)
+from repro.experiments.figures import (
+    Figure3Result,
+    Figure4Result,
+    Figure5Result,
+    Figure6Result,
+    Figure10Result,
+    IscAnalysisResult,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure10,
+    figure789,
+    isc_analysis,
+)
+from repro.experiments.table1 import (
+    PAPER_AVERAGE_REDUCTIONS,
+    PAPER_TABLE1,
+    Table1Result,
+    run_table1,
+)
+from repro.experiments.testbenches import (
+    TESTBENCHES,
+    Testbench,
+    TestbenchInstance,
+    build_testbench,
+    build_testbench_network,
+    get_testbench,
+)
+
+__all__ = [
+    "AblationPoint",
+    "Figure10Result",
+    "Figure3Result",
+    "Figure4Result",
+    "Figure5Result",
+    "Figure6Result",
+    "IscAnalysisResult",
+    "PAPER_AVERAGE_REDUCTIONS",
+    "PAPER_TABLE1",
+    "TESTBENCHES",
+    "Table1Result",
+    "Testbench",
+    "TestbenchInstance",
+    "ablate_library_range",
+    "ablate_partial_selection",
+    "ablate_preference_definition",
+    "build_testbench",
+    "build_testbench_network",
+    "figure10",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure789",
+    "format_ablation",
+    "get_testbench",
+    "isc_analysis",
+    "run_table1",
+]

@@ -1,0 +1,149 @@
+"""Ablation studies on AutoNCS design choices (extension beyond the paper).
+
+The paper motivates three design decisions that we ablate here:
+
+1. **Partial selection** (Sec. 3.4): realize only the top-25 %-CP clusters
+   per iteration vs. realizing every cluster each iteration.
+2. **Crossbar preference definition** (Sec. 3.1): the paper's
+   ``CP = m²/s³`` vs. utilization-only (``m/s²``) and count-only (``m``).
+3. **Crossbar library range** (Sec. 4.2): 16..64 step 4 vs. a single
+   max-size entry vs. a finer/wider library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.clustering.isc import DEFAULT_CROSSBAR_SIZES, iterative_spectral_clustering
+from repro.clustering.preference import crossbar_preference
+from repro.mapping.autoncs_mapping import autoncs_mapping
+from repro.mapping.fullcro import fullcro_utilization
+from repro.networks.connection_matrix import ConnectionMatrix
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class AblationPoint:
+    """One ablation configuration's clustering outcome."""
+
+    label: str
+    iterations: int
+    crossbars: int
+    synapses: int
+    outlier_ratio: float
+    average_utilization: float
+    average_fanin_fanout: float
+
+
+def _evaluate(
+    network: ConnectionMatrix,
+    label: str,
+    sizes: Sequence[int],
+    selection_quantile: float,
+    preference: Callable[[int, int], float],
+    rng: RngLike,
+) -> AblationPoint:
+    threshold = fullcro_utilization(network, max(sizes))
+    isc = iterative_spectral_clustering(
+        network,
+        sizes=sizes,
+        utilization_threshold=threshold,
+        selection_quantile=selection_quantile,
+        preference=preference,
+        rng=rng,
+    )
+    mapping = autoncs_mapping(isc)
+    return AblationPoint(
+        label=label,
+        iterations=isc.iterations,
+        crossbars=len(isc.crossbars),
+        synapses=len(isc.outliers),
+        outlier_ratio=isc.outlier_ratio,
+        average_utilization=mapping.average_utilization,
+        average_fanin_fanout=mapping.fanin_fanout().average_total,
+    )
+
+
+def ablate_partial_selection(
+    network: ConnectionMatrix, rng: RngLike = None
+) -> List[AblationPoint]:
+    """Partial selection on (top 25 %) vs effectively off (keep ~all)."""
+    rng = ensure_rng(rng)
+    seeds = rng.integers(0, 2**31 - 1, size=3)
+    return [
+        _evaluate(
+            network, "top-25% CP (paper)", DEFAULT_CROSSBAR_SIZES, 0.75,
+            crossbar_preference, int(seeds[0]),
+        ),
+        _evaluate(
+            network, "top-50% CP", DEFAULT_CROSSBAR_SIZES, 0.50,
+            crossbar_preference, int(seeds[1]),
+        ),
+        _evaluate(
+            network, "all clusters (no partial selection)", DEFAULT_CROSSBAR_SIZES, 1e-9,
+            crossbar_preference, int(seeds[2]),
+        ),
+    ]
+
+
+def _cp_paper(m: int, s: int) -> float:
+    return crossbar_preference(m, s)
+
+
+def _cp_utilization(m: int, s: int) -> float:
+    return m / float(s * s)
+
+
+def _cp_count(m: int, s: int) -> float:
+    return float(m)
+
+
+def ablate_preference_definition(
+    network: ConnectionMatrix, rng: RngLike = None
+) -> List[AblationPoint]:
+    """Compare CP = m²/s³ (paper) vs u-only and m-only scoring."""
+    rng = ensure_rng(rng)
+    seeds = rng.integers(0, 2**31 - 1, size=3)
+    variants: List[Tuple[str, Callable[[int, int], float]]] = [
+        ("CP = m^2/s^3 (paper)", _cp_paper),
+        ("CP = u = m/s^2", _cp_utilization),
+        ("CP = m", _cp_count),
+    ]
+    return [
+        _evaluate(network, label, DEFAULT_CROSSBAR_SIZES, 0.75, fn, int(seed))
+        for (label, fn), seed in zip(variants, seeds)
+    ]
+
+
+def ablate_library_range(
+    network: ConnectionMatrix, rng: RngLike = None
+) -> List[AblationPoint]:
+    """Compare crossbar libraries: paper's 16..64/4, only-64, and 8..64/8."""
+    rng = ensure_rng(rng)
+    seeds = rng.integers(0, 2**31 - 1, size=3)
+    libraries: Dict[str, Tuple[int, ...]] = {
+        "16..64 step 4 (paper)": DEFAULT_CROSSBAR_SIZES,
+        "only 64": (64,),
+        "8..64 step 8": tuple(range(8, 65, 8)),
+    }
+    return [
+        _evaluate(network, label, sizes, 0.75, crossbar_preference, int(seed))
+        for (label, sizes), seed in zip(libraries.items(), seeds)
+    ]
+
+
+def format_ablation(points: List[AblationPoint]) -> str:
+    """Readable ablation table."""
+    header = (
+        f"{'configuration':<40}{'iters':>6}{'xbars':>7}{'synapses':>9}"
+        f"{'outliers':>10}{'avg util':>10}{'avg f+f':>9}"
+    )
+    lines = [header]
+    for p in points:
+        lines.append(
+            f"{p.label:<40}{p.iterations:>6}{p.crossbars:>7}{p.synapses:>9}"
+            f"{p.outlier_ratio:>9.1%}{p.average_utilization:>10.3f}"
+            f"{p.average_fanin_fanout:>9.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Table 1 reproduction: physical cost of AutoNCS vs FullCro, 3 testbenches.
+
+Paper reference values (45 nm, α = β = δ = 1):
+
+====  ========  ================  ===========  =========
+TB    design    wirelength (µm)   area (µm²)   delay (ns)
+====  ========  ================  ===========  =========
+1     AutoNCS   131,934.3         7,608.80     1.05
+1     FullCro   233,080.0         9,667.20     1.95
+2     AutoNCS   380,549.6         14,211.54    1.05
+2     FullCro   676,416.0         20,168.60    1.95
+3     AutoNCS   575,760.9         20,943.93    0.99
+3     FullCro   1,316,590.0       38,136.23    1.95
+====  ========  ================  ===========  =========
+
+Average reductions: 47.80 % wirelength, 31.97 % area, 47.18 % delay.
+Our substrate is a Python re-implementation with calibrated technology
+numbers, so only the *shape* is expected to match: AutoNCS wins on every
+metric, wirelength/area reductions grow with N, FullCro delay is constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.autoncs import AutoNCS
+from repro.core.config import AutoNcsConfig
+from repro.core.report import ComparisonReport, average_reductions
+from repro.experiments.testbenches import TESTBENCHES, Testbench, build_testbench
+from repro.utils.rng import RngLike, ensure_rng
+
+#: The paper's Table 1, for side-by-side printing.
+PAPER_TABLE1: Dict[int, Dict[str, Dict[str, float]]] = {
+    1: {
+        "AutoNCS": {"wirelength_um": 131934.3, "area_um2": 7608.80, "delay_ns": 1.05},
+        "FullCro": {"wirelength_um": 233080.0, "area_um2": 9667.20, "delay_ns": 1.95},
+        "reduction": {"wirelength_um": 43.40, "area_um2": 21.29, "delay_ns": 46.15},
+    },
+    2: {
+        "AutoNCS": {"wirelength_um": 380549.6, "area_um2": 14211.54, "delay_ns": 1.05},
+        "FullCro": {"wirelength_um": 676416.0, "area_um2": 20168.60, "delay_ns": 1.95},
+        "reduction": {"wirelength_um": 43.74, "area_um2": 29.54, "delay_ns": 46.15},
+    },
+    3: {
+        "AutoNCS": {"wirelength_um": 575760.9, "area_um2": 20943.93, "delay_ns": 0.99},
+        "FullCro": {"wirelength_um": 1316590.0, "area_um2": 38136.23, "delay_ns": 1.95},
+        "reduction": {"wirelength_um": 56.27, "area_um2": 45.08, "delay_ns": 49.23},
+    },
+}
+
+#: Paper average reductions over the three testbenches.
+PAPER_AVERAGE_REDUCTIONS = {"wirelength": 47.80, "area": 31.97, "delay": 47.18}
+
+
+@dataclass
+class Table1Result:
+    """Measured Table 1: one comparison report per testbench."""
+
+    reports: List[ComparisonReport]
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def averages(self) -> Dict[str, float]:
+        """Mean reductions over the run testbenches."""
+        return average_reductions(self.reports)
+
+    def format_table(self) -> str:
+        """Full Table 1 as text, with paper references appended."""
+        blocks = [report.format_table() for report in self.reports]
+        avg = self.averages
+        blocks.append(
+            "Average reductions (measured): "
+            f"wirelength {avg['wirelength']:.2f}%, area {avg['area']:.2f}%, "
+            f"delay {avg['delay']:.2f}%"
+        )
+        blocks.append(
+            "Average reductions (paper):    "
+            f"wirelength {PAPER_AVERAGE_REDUCTIONS['wirelength']:.2f}%, "
+            f"area {PAPER_AVERAGE_REDUCTIONS['area']:.2f}%, "
+            f"delay {PAPER_AVERAGE_REDUCTIONS['delay']:.2f}%"
+        )
+        return "\n\n".join(blocks)
+
+
+def run_table1(
+    testbenches: Optional[Sequence[Testbench]] = None,
+    config: Optional[AutoNcsConfig] = None,
+    rng: RngLike = None,
+) -> Table1Result:
+    """Regenerate Table 1 over the given testbenches (default: all three)."""
+    rng = ensure_rng(rng)
+    if testbenches is None:
+        testbenches = TESTBENCHES
+    flow = AutoNCS(config)
+    reports = []
+    for testbench in testbenches:
+        instance = build_testbench(testbench, rng=rng)
+        report = flow.compare(instance.network, label=testbench.label, rng=rng)
+        reports.append(report)
+    return Table1Result(reports=reports)

@@ -1,0 +1,33 @@
+"""Hardware substrate: device, cell, and technology models.
+
+The paper extracts crossbar/synapse/neuron areas and delays from its
+references [2][15] and scales them to a 45 nm node; those tables are not
+public, so :class:`~repro.hardware.technology.Technology` exposes the same
+quantities as calibrated parameters (see DESIGN.md, substitutions).  The
+:mod:`~repro.hardware.simulation` module adds the analog behaviour the paper
+describes in Sec. 2.1/2.2: crossbar dot-products with programming variation
+and a first-order IR-drop model motivating the 64×64 size limit [6].
+"""
+
+from repro.hardware.crossbar import CrossbarSpec
+from repro.hardware.energy import EnergyParameters, EnergyReport, evaluate_energy
+from repro.hardware.library import CrossbarLibrary
+from repro.hardware.memristor import Memristor
+from repro.hardware.neuron import IntegrateFireNeuron
+from repro.hardware.simulation import CrossbarSimulator, HybridNcsSimulator
+from repro.hardware.synapse import DiscreteSynapse
+from repro.hardware.technology import Technology
+
+__all__ = [
+    "CrossbarLibrary",
+    "CrossbarSimulator",
+    "CrossbarSpec",
+    "DiscreteSynapse",
+    "EnergyParameters",
+    "EnergyReport",
+    "evaluate_energy",
+    "HybridNcsSimulator",
+    "IntegrateFireNeuron",
+    "Memristor",
+    "Technology",
+]

@@ -1,0 +1,53 @@
+"""Crossbar cell specification (paper Sec. 2.1, Fig. 1(b)).
+
+A crossbar of size ``s`` connects ``s`` input neurons to ``s`` output
+neurons through ``s²`` memristors at the wire crossings; its physical
+footprint and read delay come from the :class:`~repro.hardware.technology.
+Technology` model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.technology import Technology
+
+
+@dataclass(frozen=True)
+class CrossbarSpec:
+    """Geometry and timing of one library crossbar size.
+
+    Attributes
+    ----------
+    size:
+        Dimension ``s`` — the crossbar offers ``s²`` connections.
+    side_um / area_um2 / delay_ns:
+        Physical side length, footprint, and read delay.
+    """
+
+    size: int
+    side_um: float
+    area_um2: float
+    delay_ns: float
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"size must be >= 1, got {self.size}")
+        for name in ("side_um", "area_um2", "delay_ns"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0, got {getattr(self, name)}")
+
+    @property
+    def capacity(self) -> int:
+        """Total connections offered: ``s²`` (Sec. 3.1)."""
+        return self.size * self.size
+
+    @classmethod
+    def from_technology(cls, size: int, technology: Technology) -> "CrossbarSpec":
+        """Build the spec for ``size`` under ``technology``."""
+        return cls(
+            size=size,
+            side_um=technology.crossbar_side_um(size),
+            area_um2=technology.crossbar_area_um2(size),
+            delay_ns=technology.crossbar_delay_ns(size),
+        )

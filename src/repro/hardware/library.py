@@ -1,0 +1,91 @@
+"""The crossbar library: the predefined fixed-size crossbars of AutoNCS.
+
+The experiments use "allowable crossbar sizes rang[ing] from 16 to 64 at a
+step of 4" (Sec. 4.2); the library resolves each cluster to its *minimum
+satisfiable* crossbar (Algorithm 3 line 11) and supplies area/delay specs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.clustering.isc import DEFAULT_CROSSBAR_SIZES
+from repro.hardware.crossbar import CrossbarSpec
+from repro.hardware.neuron import IntegrateFireNeuron
+from repro.hardware.synapse import DiscreteSynapse
+from repro.hardware.technology import DEFAULT_TECHNOLOGY, Technology
+
+
+class CrossbarLibrary:
+    """A set of crossbar sizes with their physical specs under a technology.
+
+    Parameters
+    ----------
+    sizes:
+        Allowed crossbar dimensions (paper default: 16..64 step 4).
+    technology:
+        The :class:`Technology` supplying geometry and timing.
+    """
+
+    def __init__(
+        self,
+        sizes: Sequence[int] = DEFAULT_CROSSBAR_SIZES,
+        technology: Technology = DEFAULT_TECHNOLOGY,
+    ) -> None:
+        size_list = sorted(set(int(s) for s in sizes))
+        if not size_list:
+            raise ValueError("sizes must be non-empty")
+        if size_list[0] < 1:
+            raise ValueError(f"crossbar sizes must be >= 1, got {size_list[0]}")
+        self.technology = technology
+        self._specs: Dict[int, CrossbarSpec] = {
+            s: CrossbarSpec.from_technology(s, technology) for s in size_list
+        }
+        self.synapse = DiscreteSynapse.from_technology(technology)
+        self.neuron = IntegrateFireNeuron.from_technology(technology)
+
+    # ------------------------------------------------------------------
+    @property
+    def sizes(self) -> Tuple[int, ...]:
+        """Ascending library sizes."""
+        return tuple(sorted(self._specs))
+
+    @property
+    def max_size(self) -> int:
+        """Largest crossbar available (the paper's reliability limit, 64)."""
+        return self.sizes[-1]
+
+    @property
+    def min_size(self) -> int:
+        """Smallest crossbar available."""
+        return self.sizes[0]
+
+    def spec(self, size: int) -> CrossbarSpec:
+        """Spec of an exact library size; raises ``KeyError`` if absent."""
+        try:
+            return self._specs[int(size)]
+        except KeyError:
+            raise KeyError(
+                f"crossbar size {size} is not in the library {self.sizes}"
+            ) from None
+
+    def minimum_satisfiable(self, cluster_size: int) -> Optional[CrossbarSpec]:
+        """Smallest library crossbar fitting ``cluster_size`` neurons, or None."""
+        if cluster_size < 0:
+            raise ValueError(f"cluster_size must be >= 0, got {cluster_size}")
+        for s in self.sizes:
+            if s >= cluster_size:
+                return self._specs[s]
+        return None
+
+    def __contains__(self, size: int) -> bool:
+        return int(size) in self._specs
+
+    def __iter__(self):
+        return (self._specs[s] for s in self.sizes)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __repr__(self) -> str:
+        return f"CrossbarLibrary(sizes={self.sizes})"

@@ -1,0 +1,113 @@
+"""A behavioural memristor device model (paper Sec. 2.1).
+
+The synaptic weight is stored as the device conductance: programming pulses
+move the state variable between ``R_on`` (fully conductive) and ``R_off``.
+The model captures what the EDA flow and the analog simulator need —
+weight↔conductance mapping, bounded programming with write variation — not
+full ion-migration dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass
+class Memristor:
+    """A single memristive synapse device.
+
+    Attributes
+    ----------
+    r_on / r_off:
+        Low / high resistance bounds in ohms.
+    state:
+        Normalized internal state in [0, 1]; 1 means fully ON (``R_on``).
+    """
+
+    r_on: float = 1e3
+    r_off: float = 1e6
+    state: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("r_on", self.r_on)
+        check_positive("r_off", self.r_off)
+        if self.r_on >= self.r_off:
+            raise ValueError(f"r_on ({self.r_on}) must be < r_off ({self.r_off})")
+        check_probability("state", self.state)
+
+    # ------------------------------------------------------------------
+    @property
+    def conductance(self) -> float:
+        """Device conductance in siemens for the current state.
+
+        Conductance interpolates linearly in the state variable:
+        ``G = G_off + state · (G_on - G_off)``.
+        """
+        g_on = 1.0 / self.r_on
+        g_off = 1.0 / self.r_off
+        return g_off + self.state * (g_on - g_off)
+
+    @property
+    def resistance(self) -> float:
+        """Device resistance in ohms (reciprocal of :attr:`conductance`)."""
+        return 1.0 / self.conductance
+
+    # ------------------------------------------------------------------
+    def program_weight(
+        self, weight: float, variation_sigma: float = 0.0, rng: RngLike = None
+    ) -> float:
+        """Program a normalized weight in [0, 1] into the device state.
+
+        ``variation_sigma`` adds multiplicative lognormal-ish write noise
+        (clipped back to [0, 1]), modelling process/programming variation
+        (Sec. 2.1 [6]).  Returns the state actually stored.
+        """
+        check_probability("weight", weight)
+        if variation_sigma < 0:
+            raise ValueError(f"variation_sigma must be >= 0, got {variation_sigma}")
+        value = float(weight)
+        if variation_sigma > 0.0:
+            rng = ensure_rng(rng)
+            value *= float(np.exp(rng.normal(0.0, variation_sigma)))
+        self.state = float(np.clip(value, 0.0, 1.0))
+        return self.state
+
+    def read_current(self, voltage: float) -> float:
+        """Ohmic read: ``I = G · V`` (amps)."""
+        return self.conductance * voltage
+
+
+def weights_to_conductances(
+    weights: np.ndarray,
+    r_on: float = 1e3,
+    r_off: float = 1e6,
+    variation_sigma: float = 0.0,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Vectorized weight→conductance mapping for a whole crossbar.
+
+    ``weights`` must lie in [0, 1]; the return value is the conductance
+    matrix in siemens with optional multiplicative write variation.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if np.any(weights < 0.0) or np.any(weights > 1.0):
+        raise ValueError("weights must lie in [0, 1]")
+    check_positive("r_on", r_on)
+    check_positive("r_off", r_off)
+    if r_on >= r_off:
+        raise ValueError(f"r_on ({r_on}) must be < r_off ({r_off})")
+    if variation_sigma < 0:
+        raise ValueError(f"variation_sigma must be >= 0, got {variation_sigma}")
+    effective = weights
+    if variation_sigma > 0.0:
+        rng = ensure_rng(rng)
+        noise = np.exp(rng.normal(0.0, variation_sigma, size=weights.shape))
+        effective = np.clip(weights * noise, 0.0, 1.0)
+    g_on = 1.0 / r_on
+    g_off = 1.0 / r_off
+    return g_off + effective * (g_on - g_off)

@@ -1,0 +1,74 @@
+"""Integrate-and-fire neuron cell (paper Fig. 1(a), [2]).
+
+The paper's output neuron integrates synaptic current on a capacitor and
+fires when the accumulated voltage crosses a threshold.  The EDA flow only
+needs the cell footprint; the behavioural part backs the analog simulator
+and the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import math
+
+from repro.hardware.technology import Technology
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class IntegrateFireNeuron:
+    """A capacitor-based integrate-and-fire neuron.
+
+    Attributes
+    ----------
+    capacitance_ff:
+        Membrane capacitor in femtofarads.
+    threshold_v:
+        Firing threshold voltage.
+    area_um2:
+        Cell footprint from the technology model.
+    voltage:
+        Current membrane voltage (state).
+    """
+
+    capacitance_ff: float = 50.0
+    threshold_v: float = 0.5
+    area_um2: float = 16.0
+    voltage: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        check_positive("capacitance_ff", self.capacitance_ff)
+        check_positive("threshold_v", self.threshold_v)
+        check_positive("area_um2", self.area_um2)
+
+    @property
+    def side_um(self) -> float:
+        """Side of the (square) cell footprint."""
+        return math.sqrt(self.area_um2)
+
+    @classmethod
+    def from_technology(cls, technology: Technology) -> "IntegrateFireNeuron":
+        """Build the neuron cell spec under ``technology``."""
+        return cls(area_um2=technology.neuron_area_um2)
+
+    # ------------------------------------------------------------------
+    # Behaviour
+    # ------------------------------------------------------------------
+    def integrate(self, current_na: float, dt_ns: float) -> bool:
+        """Integrate ``current_na`` for ``dt_ns``; return True on a spike.
+
+        ``ΔV = I·Δt / C``; on crossing :attr:`threshold_v` the neuron fires
+        and resets to zero.
+        """
+        if dt_ns <= 0:
+            raise ValueError(f"dt_ns must be > 0, got {dt_ns}")
+        delta_v = (current_na * 1e-9) * (dt_ns * 1e-9) / (self.capacitance_ff * 1e-15)
+        self.voltage += delta_v
+        if self.voltage >= self.threshold_v:
+            self.voltage = 0.0
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Clear the membrane voltage."""
+        self.voltage = 0.0

@@ -1,0 +1,266 @@
+"""Analog crossbar evaluation: T = A·F with non-idealities (extension).
+
+The paper's preliminaries (Sec. 2.1–2.2) explain *why* crossbars are capped
+at 64×64: IR-drop, device defects and process variation degrade programming
+and computing reliability as the array grows [6].  This module implements
+the corresponding behavioural simulation so that a mapped design can be
+functionally validated, not just costed:
+
+* :class:`CrossbarSimulator` — one crossbar computing output currents from
+  input voltages through a conductance matrix, with programming variation,
+  stuck-at defects, and a first-order IR-drop attenuation that grows with
+  array size and with distance from the drivers.
+* :class:`HybridNcsSimulator` — the full hybrid implementation produced by
+  ISC: every crossbar block plus the discrete-synapse outliers jointly
+  evaluate ``y = W x``, so Hopfield recall can be replayed *on the mapped
+  hardware*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.clustering.isc import IscResult
+from repro.hardware.memristor import weights_to_conductances
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_probability
+
+
+@dataclass
+class NonIdealityModel:
+    """Knobs for analog crossbar imperfections.
+
+    Attributes
+    ----------
+    variation_sigma:
+        Lognormal programming-variation sigma on device weights.
+    stuck_off_probability / stuck_on_probability:
+        Per-device defect rates: stuck-off devices read as weight 0,
+        stuck-on devices as weight 1.
+    ir_drop_coefficient:
+        First-order IR-drop strength: the effective drive seen by device
+        ``(i, j)`` of an ``s × s`` array is attenuated by
+        ``1 / (1 + coeff · s · (i + j) / (2s))`` — deeper devices on longer
+        lines see a weaker signal, and the effect grows with array size.
+    """
+
+    variation_sigma: float = 0.0
+    stuck_off_probability: float = 0.0
+    stuck_on_probability: float = 0.0
+    ir_drop_coefficient: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.variation_sigma < 0:
+            raise ValueError(f"variation_sigma must be >= 0, got {self.variation_sigma}")
+        check_probability("stuck_off_probability", self.stuck_off_probability)
+        check_probability("stuck_on_probability", self.stuck_on_probability)
+        if self.stuck_off_probability + self.stuck_on_probability > 1.0:
+            raise ValueError("stuck-off + stuck-on probabilities exceed 1")
+        if self.ir_drop_coefficient < 0:
+            raise ValueError(
+                f"ir_drop_coefficient must be >= 0, got {self.ir_drop_coefficient}"
+            )
+
+
+IDEAL = NonIdealityModel()
+
+
+class CrossbarSimulator:
+    """Analog evaluation of one programmed crossbar.
+
+    Parameters
+    ----------
+    weights:
+        ``(s, s)`` matrix of normalized weights in [0, 1]; ``weights[i, j]``
+        connects input (row) ``i`` to output (column) ``j``.
+    model:
+        Non-ideality knobs; defaults to an ideal crossbar.
+    """
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        model: NonIdealityModel = IDEAL,
+        r_on: float = 1e3,
+        r_off: float = 1e6,
+        rng: RngLike = None,
+    ) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+            raise ValueError(f"weights must be square, got shape {weights.shape}")
+        if np.any(weights < 0.0) or np.any(weights > 1.0):
+            raise ValueError("weights must lie in [0, 1]")
+        rng = ensure_rng(rng)
+        self.model = model
+        self.size = weights.shape[0]
+        programmed = weights.copy()
+        # Defect injection: stuck-off → 0, stuck-on → 1.
+        if model.stuck_off_probability > 0.0 or model.stuck_on_probability > 0.0:
+            roll = rng.random(weights.shape)
+            programmed[roll < model.stuck_off_probability] = 0.0
+            programmed[
+                (roll >= model.stuck_off_probability)
+                & (roll < model.stuck_off_probability + model.stuck_on_probability)
+            ] = 1.0
+        self.conductances = weights_to_conductances(
+            programmed,
+            r_on=r_on,
+            r_off=r_off,
+            variation_sigma=model.variation_sigma,
+            rng=rng,
+        )
+        self._g_on = 1.0 / r_on
+        self._ir_attenuation = self._build_ir_attenuation()
+
+    def _build_ir_attenuation(self) -> np.ndarray:
+        """Per-device drive attenuation from the first-order IR-drop model."""
+        s = self.size
+        coeff = self.model.ir_drop_coefficient
+        if coeff <= 0.0:
+            return np.ones((s, s))
+        rows = np.arange(s)[:, None]
+        cols = np.arange(s)[None, :]
+        depth = (rows + cols) / (2.0 * max(s - 1, 1))
+        return 1.0 / (1.0 + coeff * s * depth)
+
+    # ------------------------------------------------------------------
+    def output_currents(self, input_voltages: np.ndarray) -> np.ndarray:
+        """Column output currents for the given row input voltages (amps)."""
+        v = np.asarray(input_voltages, dtype=float)
+        if v.shape != (self.size,):
+            raise ValueError(f"input_voltages must have shape ({self.size},), got {v.shape}")
+        effective = self.conductances * self._ir_attenuation
+        return v @ effective
+
+    def compute(self, inputs: np.ndarray) -> np.ndarray:
+        """Normalized dot-product ``inputs @ weights`` as the crossbar sees it.
+
+        Output currents are normalized by ``G_on`` so an ideal crossbar
+        returns exactly ``inputs @ weights`` (up to the tiny ``G_off`` leak).
+        """
+        return self.output_currents(inputs) / self._g_on
+
+    def relative_error(self, inputs: np.ndarray, reference_weights: np.ndarray) -> float:
+        """RMS error of :meth:`compute` against the ideal ``inputs @ W``.
+
+        Used by the reliability example to reproduce the motivation for the
+        64×64 size cap: error grows with array size under IR-drop.
+        """
+        reference = np.asarray(inputs, dtype=float) @ np.asarray(reference_weights, dtype=float)
+        actual = self.compute(inputs)
+        scale = float(np.max(np.abs(reference)))
+        if scale == 0.0:
+            return float(np.sqrt(np.mean(actual**2)))
+        return float(np.sqrt(np.mean((actual - reference) ** 2)) / scale)
+
+
+class HybridNcsSimulator:
+    """Functional model of a full hybrid implementation (crossbars + synapses).
+
+    Evaluates ``y = x @ W_signed`` by summing the contribution of every
+    crossbar block and every discrete synapse, each with its own analog
+    imperfections.  Signed weights are split into positive and negative
+    parts mapped to separate (simulated) crossbar polarities, the standard
+    two-array trick for memristor NCS.
+
+    Parameters
+    ----------
+    isc_result:
+        The hybrid topology produced by ISC.
+    signed_weights:
+        Optional real weight matrix (e.g. the Hopfield weights); defaults to
+        the binary connection matrix of the topology.
+    """
+
+    def __init__(
+        self,
+        isc_result: IscResult,
+        signed_weights: Optional[np.ndarray] = None,
+        model: NonIdealityModel = IDEAL,
+        rng: RngLike = None,
+    ) -> None:
+        self.topology = isc_result
+        n = isc_result.network.size
+        if signed_weights is None:
+            signed_weights = isc_result.network.matrix.astype(float)
+        signed_weights = np.asarray(signed_weights, dtype=float)
+        if signed_weights.shape != (n, n):
+            raise ValueError(
+                f"signed_weights must have shape ({n}, {n}), got {signed_weights.shape}"
+            )
+        self.n = n
+        self.model = model
+        rng = ensure_rng(rng)
+        scale = float(np.max(np.abs(signed_weights)))
+        self._scale = scale if scale > 0 else 1.0
+        normalized = signed_weights / self._scale
+
+        self._blocks = []
+        for assignment in isc_result.crossbars:
+            members = np.asarray(assignment.members, dtype=int)
+            s = assignment.size
+            pos = np.zeros((s, s))
+            neg = np.zeros((s, s))
+            index_of = {int(g): local for local, g in enumerate(members)}
+            for gi, gj in assignment.connections:
+                value = normalized[gi, gj]
+                if value >= 0:
+                    pos[index_of[gi], index_of[gj]] = value
+                else:
+                    neg[index_of[gi], index_of[gj]] = -value
+            self._blocks.append(
+                (
+                    members,
+                    CrossbarSimulator(pos, model=model, rng=rng),
+                    CrossbarSimulator(neg, model=model, rng=rng),
+                )
+            )
+
+        # Discrete synapses: per-connection weight with programming noise
+        # but no IR-drop (point-to-point wiring has no shared line).
+        self._synapse_rows = np.array([i for i, _ in isc_result.outliers], dtype=int)
+        self._synapse_cols = np.array([j for _, j in isc_result.outliers], dtype=int)
+        values = normalized[self._synapse_rows, self._synapse_cols] if isc_result.outliers else np.array([])
+        if model.variation_sigma > 0.0 and values.size:
+            noise = np.exp(rng.normal(0.0, model.variation_sigma, size=values.shape))
+            magnitude = np.clip(np.abs(values) * noise, 0.0, 1.0)
+            values = np.sign(values) * magnitude
+        self._synapse_values = values
+
+    # ------------------------------------------------------------------
+    def compute(self, inputs: np.ndarray) -> np.ndarray:
+        """Evaluate ``inputs @ W`` through the mapped hardware."""
+        x = np.asarray(inputs, dtype=float)
+        if x.shape != (self.n,):
+            raise ValueError(f"inputs must have shape ({self.n},), got {x.shape}")
+        output = np.zeros(self.n)
+        for members, positive, negative in self._blocks:
+            # A cluster may be smaller than its crossbar: pad the unused
+            # rows with zero drive and read back only the used columns.
+            local_in = np.zeros(positive.size)
+            local_in[: members.size] = x[members]
+            contribution = positive.compute(local_in) - negative.compute(local_in)
+            output[members] += contribution[: members.size]
+        if self._synapse_values.size:
+            np.add.at(
+                output,
+                self._synapse_cols,
+                x[self._synapse_rows] * self._synapse_values,
+            )
+        return output * self._scale
+
+    def recall(self, probe: np.ndarray, max_steps: int = 50) -> np.ndarray:
+        """Hopfield-style synchronous recall running on the mapped hardware."""
+        state = np.asarray(probe, dtype=float).copy()
+        if state.shape != (self.n,):
+            raise ValueError(f"probe must have shape ({self.n},), got {state.shape}")
+        for _ in range(max_steps):
+            activation = self.compute(state)
+            new_state = np.where(activation >= 0.0, 1.0, -1.0)
+            if np.array_equal(new_state, state):
+                break
+            state = new_state
+        return state.astype(np.int8)

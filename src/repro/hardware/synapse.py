@@ -1,0 +1,41 @@
+"""Discrete memristor synapse cell (paper Fig. 1(a), [2]).
+
+A discrete synapse makes one point-to-point connection between two neurons:
+a memristor storing the weight plus its access circuitry.  It is the
+efficient choice for sparse, isolated connections that would waste a
+crossbar (Sec. 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from repro.hardware.technology import Technology
+
+
+@dataclass(frozen=True)
+class DiscreteSynapse:
+    """Geometry and timing of a discrete synapse cell."""
+
+    area_um2: float
+    delay_ns: float
+
+    def __post_init__(self) -> None:
+        if self.area_um2 <= 0:
+            raise ValueError(f"area_um2 must be > 0, got {self.area_um2}")
+        if self.delay_ns <= 0:
+            raise ValueError(f"delay_ns must be > 0, got {self.delay_ns}")
+
+    @property
+    def side_um(self) -> float:
+        """Side of the (square) cell footprint."""
+        return math.sqrt(self.area_um2)
+
+    @classmethod
+    def from_technology(cls, technology: Technology) -> "DiscreteSynapse":
+        """Build the synapse cell spec under ``technology``."""
+        return cls(
+            area_um2=technology.synapse_area_um2,
+            delay_ns=technology.synapse_delay_ns,
+        )

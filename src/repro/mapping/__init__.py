@@ -1,0 +1,39 @@
+"""Mapping a clustered network onto hardware cells and wires.
+
+* :mod:`~repro.mapping.netlist` — cells (crossbars, neurons, discrete
+  synapses), weighted 2-pin wires, and the netlist builder shared by both
+  designs.
+* :mod:`~repro.mapping.fullcro` — the paper's brute-force baseline: only
+  maximum-size crossbars (Sec. 4.2).
+* :mod:`~repro.mapping.autoncs_mapping` — the hybrid AutoNCS mapping
+  produced from an ISC result.
+"""
+
+from repro.mapping.autoncs_mapping import autoncs_mapping
+from repro.mapping.fullcro import fullcro_mapping, fullcro_utilization
+from repro.mapping.netlist import (
+    Cell,
+    CellKind,
+    CrossbarInstance,
+    FaninFanoutBreakdown,
+    MappingResult,
+    Netlist,
+    Wire,
+    build_netlist,
+    fanin_fanout_breakdown,
+)
+
+__all__ = [
+    "Cell",
+    "CellKind",
+    "CrossbarInstance",
+    "FaninFanoutBreakdown",
+    "MappingResult",
+    "Netlist",
+    "Wire",
+    "autoncs_mapping",
+    "build_netlist",
+    "fanin_fanout_breakdown",
+    "fullcro_mapping",
+    "fullcro_utilization",
+]

@@ -1,0 +1,56 @@
+"""Mapping an ISC result onto hardware: the AutoNCS hybrid design."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.clustering.isc import IscResult
+from repro.hardware.library import CrossbarLibrary
+from repro.mapping.netlist import CrossbarInstance, MappingResult, build_netlist
+
+
+def autoncs_mapping(
+    isc_result: IscResult,
+    library: Optional[CrossbarLibrary] = None,
+    name: str = "AutoNCS",
+) -> MappingResult:
+    """Turn an :class:`IscResult` into a :class:`MappingResult` with a netlist.
+
+    Each ISC crossbar assignment becomes a crossbar instance whose rows and
+    columns are the cluster's neurons; each outlier connection becomes a
+    discrete-synapse cell wired between its two neurons.
+    """
+    if library is None:
+        library = CrossbarLibrary(sizes=isc_result.sizes)
+    for size in {assignment.size for assignment in isc_result.crossbars}:
+        if size not in library:
+            raise ValueError(
+                f"ISC placed a {size}x{size} crossbar but the library only "
+                f"offers {library.sizes}"
+            )
+    instances = [
+        CrossbarInstance(
+            rows=assignment.members,
+            cols=assignment.members,
+            size=assignment.size,
+            connections=assignment.connections,
+        )
+        for assignment in isc_result.crossbars
+    ]
+    synapses = list(isc_result.outliers)
+    netlist = build_netlist(isc_result.network.size, instances, synapses, library)
+    result = MappingResult(
+        name=name,
+        network=isc_result.network,
+        instances=instances,
+        synapse_connections=synapses,
+        netlist=netlist,
+        library=library,
+        metadata={
+            "isc_iterations": isc_result.iterations,
+            "outlier_ratio": isc_result.outlier_ratio,
+            "utilization_threshold": isc_result.utilization_threshold,
+        },
+    )
+    result.validate()
+    return result

@@ -1,0 +1,97 @@
+"""The FullCro baseline: brute-force maximum-size crossbars (paper Sec. 4.2).
+
+"We define the baseline design as a full crossbar design (denoted as
+'FullCro') that uses only crossbars with a size of 64 to implement the
+neural network."  Neurons are partitioned into consecutive groups of the
+maximum crossbar size; every (row-group, column-group) block containing at
+least one connection is realized by one maximum-size crossbar.  No discrete
+synapses are used.  FullCro's average utilization is the ISC stopping
+threshold ``t`` of the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.library import CrossbarLibrary
+from repro.mapping.netlist import CrossbarInstance, MappingResult, build_netlist
+from repro.networks.connection_matrix import ConnectionMatrix
+
+
+def _neuron_groups(n: int, group_size: int) -> List[np.ndarray]:
+    """Split ``range(n)`` into consecutive chunks of ``group_size``."""
+    return [np.arange(start, min(start + group_size, n)) for start in range(0, n, group_size)]
+
+
+def fullcro_instances(
+    network: ConnectionMatrix, max_size: int
+) -> List[CrossbarInstance]:
+    """Build the FullCro crossbar instances (one per non-empty block).
+
+    Rows/columns of each instance are restricted to the neurons that carry
+    at least one connection inside the block — unconnected rows would add
+    dead wires that serve nothing.
+    """
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    matrix = network.matrix
+    groups = _neuron_groups(network.size, max_size)
+    instances: List[CrossbarInstance] = []
+    for gi in groups:
+        for gj in groups:
+            block = matrix[np.ix_(gi, gj)]
+            if not block.any():
+                continue
+            rows_local, cols_local = np.nonzero(block)
+            connections = tuple(
+                (int(gi[r]), int(gj[c])) for r, c in zip(rows_local, cols_local)
+            )
+            active_rows = tuple(int(gi[r]) for r in np.unique(rows_local))
+            active_cols = tuple(int(gj[c]) for c in np.unique(cols_local))
+            instances.append(
+                CrossbarInstance(
+                    rows=active_rows,
+                    cols=active_cols,
+                    size=max_size,
+                    connections=connections,
+                )
+            )
+    return instances
+
+
+def fullcro_utilization(network: ConnectionMatrix, max_size: int = 64) -> float:
+    """Average utilization of the FullCro design — ISC's stop threshold ``t``.
+
+    "The iteration of ISC stops when the average crossbar utilization is
+    below that of the baseline design" (Sec. 4.2).
+    """
+    instances = fullcro_instances(network, max_size)
+    if not instances:
+        return 0.0
+    return float(np.mean([x.utilization for x in instances]))
+
+
+def fullcro_mapping(
+    network: ConnectionMatrix,
+    library: Optional[CrossbarLibrary] = None,
+    name: str = "FullCro",
+) -> MappingResult:
+    """Map ``network`` with only maximum-size crossbars and build its netlist."""
+    if library is None:
+        library = CrossbarLibrary()
+    instances = fullcro_instances(network, library.max_size)
+    synapses: List[Tuple[int, int]] = []
+    netlist = build_netlist(network.size, instances, synapses, library)
+    result = MappingResult(
+        name=name,
+        network=network,
+        instances=instances,
+        synapse_connections=synapses,
+        netlist=netlist,
+        library=library,
+        metadata={"max_size": library.max_size},
+    )
+    result.validate()
+    return result

@@ -1,0 +1,187 @@
+"""Binary connection matrices — the central data structure of AutoNCS.
+
+The paper (Sec. 2.1) represents a neural network by a connection matrix
+``W ∈ R^{n×n}`` whose entry ``w_ij`` is 1 when input neuron *i* connects to
+output neuron *j* and 0 otherwise ("connection matrix" and "network" are used
+interchangeably).  :class:`ConnectionMatrix` wraps such a matrix with the
+operations the clustering flow needs:
+
+* counting connections inside / outside a set of clusters,
+* removing within-cluster connections (building the "remaining network" of
+  ISC, Sec. 3.4),
+* extracting submatrices for crossbar mapping,
+* symmetrization for spectral clustering on directed topologies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_binary_matrix, check_square
+
+
+class ConnectionMatrix:
+    """An immutable-by-convention binary ``n × n`` connection matrix.
+
+    Parameters
+    ----------
+    matrix:
+        A square array-like of 0/1 entries.  The input is copied and stored
+        as ``uint8``.
+    name:
+        Optional label carried through reports and figures.
+    """
+
+    def __init__(self, matrix: np.ndarray, name: str = "network") -> None:
+        matrix = np.asarray(matrix)
+        check_square("matrix", matrix)
+        check_binary_matrix("matrix", matrix)
+        self._matrix = matrix.astype(np.uint8, copy=True)
+        self.name = str(name)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        """A read-only view of the underlying 0/1 matrix."""
+        view = self._matrix.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def size(self) -> int:
+        """Number of neurons ``n``."""
+        return self._matrix.shape[0]
+
+    @property
+    def num_connections(self) -> int:
+        """Total number of 1-entries (synapses) in the network."""
+        return int(self._matrix.sum())
+
+    @property
+    def sparsity(self) -> float:
+        """``1 - connections / n²`` — the paper's sparsity definition (Sec. 2.2)."""
+        n = self.size
+        if n == 0:
+            return 1.0
+        return 1.0 - self.num_connections / float(n * n)
+
+    @property
+    def density(self) -> float:
+        """``connections / n²`` — the complement of :attr:`sparsity`."""
+        return 1.0 - self.sparsity
+
+    def is_symmetric(self) -> bool:
+        """True when the topology is undirected (``W == Wᵀ``)."""
+        return bool(np.array_equal(self._matrix, self._matrix.T))
+
+    def copy(self, name: str = None) -> "ConnectionMatrix":
+        """Return an independent copy, optionally renamed."""
+        return ConnectionMatrix(self._matrix, name=self.name if name is None else name)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConnectionMatrix):
+            return NotImplemented
+        return np.array_equal(self._matrix, other._matrix)
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing only
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConnectionMatrix(name={self.name!r}, n={self.size}, "
+            f"connections={self.num_connections}, sparsity={self.sparsity:.4f})"
+        )
+
+    # ------------------------------------------------------------------
+    # Cluster-oriented operations
+    # ------------------------------------------------------------------
+    def symmetrized(self) -> np.ndarray:
+        """Return ``max(W, Wᵀ)`` as float — the similarity graph used by MSC.
+
+        Spectral clustering requires an undirected similarity; for directed
+        topologies a connection in either direction makes the pair similar.
+        """
+        m = self._matrix
+        return np.maximum(m, m.T).astype(float)
+
+    def submatrix(self, rows: Sequence[int], cols: Sequence[int] = None) -> np.ndarray:
+        """Extract the block ``W[rows, cols]`` (``cols`` defaults to ``rows``)."""
+        rows = np.asarray(list(rows), dtype=int)
+        cols = rows if cols is None else np.asarray(list(cols), dtype=int)
+        self._check_indices(rows)
+        self._check_indices(cols)
+        return self._matrix[np.ix_(rows, cols)].copy()
+
+    def connections_within(self, cluster: Sequence[int]) -> int:
+        """Number of connections with both endpoints inside ``cluster``.
+
+        This is the crossbar-utilized-connection count *m* of Sec. 3.1 for a
+        cluster mapped to a crossbar.
+        """
+        idx = np.asarray(list(cluster), dtype=int)
+        self._check_indices(idx)
+        if idx.size == 0:
+            return 0
+        return int(self._matrix[np.ix_(idx, idx)].sum())
+
+    def connections_within_clusters(self, clusters: Iterable[Sequence[int]]) -> int:
+        """Total within-cluster connections over a disjoint cluster list."""
+        return sum(self.connections_within(c) for c in clusters)
+
+    def outlier_count(self, clusters: Iterable[Sequence[int]]) -> int:
+        """Connections not covered by any cluster — the paper's *outliers*."""
+        return self.num_connections - self.connections_within_clusters(clusters)
+
+    def outlier_ratio(self, clusters: Iterable[Sequence[int]]) -> float:
+        """Fraction of connections that are outliers (0 when the net is empty)."""
+        total = self.num_connections
+        if total == 0:
+            return 0.0
+        return self.outlier_count(clusters) / total
+
+    def remove_cluster(self, cluster: Sequence[int]) -> "ConnectionMatrix":
+        """Return a new network with within-``cluster`` connections deleted.
+
+        Used by ISC (Algorithm 3, line 12) to build the remaining network
+        after a cluster has been realized on a crossbar.
+        """
+        idx = np.asarray(list(cluster), dtype=int)
+        self._check_indices(idx)
+        result = self._matrix.copy()
+        if idx.size:
+            result[np.ix_(idx, idx)] = 0
+        return ConnectionMatrix(result, name=self.name)
+
+    def remove_clusters(self, clusters: Iterable[Sequence[int]]) -> "ConnectionMatrix":
+        """Delete within-cluster connections for every cluster in one pass."""
+        result = self._matrix.copy()
+        for cluster in clusters:
+            idx = np.asarray(list(cluster), dtype=int)
+            self._check_indices(idx)
+            if idx.size:
+                result[np.ix_(idx, idx)] = 0
+        return ConnectionMatrix(result, name=self.name)
+
+    def connection_list(self) -> List[Tuple[int, int]]:
+        """All ``(i, j)`` pairs with ``w_ij == 1`` in row-major order."""
+        rows, cols = np.nonzero(self._matrix)
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    def permuted(self, order: Sequence[int]) -> "ConnectionMatrix":
+        """Reorder neurons by ``order`` (used to draw clustered matrices)."""
+        idx = np.asarray(list(order), dtype=int)
+        if sorted(idx.tolist()) != list(range(self.size)):
+            raise ValueError("order must be a permutation of range(n)")
+        return ConnectionMatrix(self._matrix[np.ix_(idx, idx)], name=self.name)
+
+    # ------------------------------------------------------------------
+    def _check_indices(self, idx: np.ndarray) -> None:
+        if idx.size and (idx.min() < 0 or idx.max() >= self.size):
+            raise IndexError(
+                f"neuron indices must lie in [0, {self.size}), got range "
+                f"[{idx.min()}, {idx.max()}]"
+            )

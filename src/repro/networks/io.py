@@ -1,0 +1,71 @@
+"""Save / load connection matrices.
+
+Two formats are supported:
+
+* ``.npz`` — compressed numpy archive (canonical).
+* edge-list text — one ``i j`` pair per line, human-diffable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.networks.connection_matrix import ConnectionMatrix
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_network_npz(network: ConnectionMatrix, path: PathLike) -> None:
+    """Write ``network`` to a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        path, matrix=network.matrix, name=np.array(network.name)
+    )
+
+
+def load_network_npz(path: PathLike) -> ConnectionMatrix:
+    """Load a network previously written by :func:`save_network_npz`."""
+    with np.load(path, allow_pickle=False) as data:
+        if "matrix" not in data:
+            raise ValueError(f"{path!s} is not a saved network (no 'matrix' array)")
+        matrix = data["matrix"]
+        name = str(data["name"]) if "name" in data else "network"
+    return ConnectionMatrix(matrix, name=name)
+
+
+def save_network_edgelist(network: ConnectionMatrix, path: PathLike) -> None:
+    """Write the network as a text edge list: header then one ``i j`` per line."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# network {network.name} n={network.size}\n")
+        for i, j in network.connection_list():
+            handle.write(f"{i} {j}\n")
+
+
+def load_network_edgelist(path: PathLike) -> ConnectionMatrix:
+    """Load a network written by :func:`save_network_edgelist`."""
+    n = None
+    name = "network"
+    edges = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                tokens = line[1:].split()
+                for token in tokens:
+                    if token.startswith("n="):
+                        n = int(token[2:])
+                if len(tokens) >= 2 and tokens[0] == "network":
+                    name = tokens[1]
+                continue
+            i_str, j_str = line.split()
+            edges.append((int(i_str), int(j_str)))
+    if n is None:
+        n = 1 + max((max(i, j) for i, j in edges), default=-1)
+    matrix = np.zeros((n, n), dtype=np.uint8)
+    for i, j in edges:
+        matrix[i, j] = 1
+    return ConnectionMatrix(matrix, name=name)

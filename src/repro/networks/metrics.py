@@ -1,0 +1,70 @@
+"""Network metrics: sparsity, degree statistics, fanin+fanout (Sec. 4.2).
+
+The paper defines *fanin+fanout* of a neuron as the total number of its
+fanins and fanouts, a rough measure of the wiring congestion around it; the
+Fig. 7–9(d) panels plot its distribution split into crossbar-borne and
+discrete-synapse-borne parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.networks.connection_matrix import ConnectionMatrix
+
+
+def network_sparsity(network: ConnectionMatrix) -> float:
+    """Sparsity = 1 - connections / n² (paper Sec. 2.2)."""
+    return network.sparsity
+
+
+def fanin_fanout(network: ConnectionMatrix) -> np.ndarray:
+    """Per-neuron fanin+fanout vector.
+
+    ``fanin(i)`` counts incoming connections (column sum), ``fanout(i)``
+    outgoing ones (row sum); the paper sums the two.
+    """
+    m = network.matrix.astype(np.int64)
+    return m.sum(axis=1) + m.sum(axis=0)
+
+
+@dataclass
+class DegreeStatistics:
+    """Summary of a network's degree structure."""
+
+    mean_fanin: float
+    mean_fanout: float
+    mean_fanin_fanout: float
+    max_fanin_fanout: int
+    min_fanin_fanout: int
+    isolated_neurons: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Dictionary view for report serialization."""
+        return {
+            "mean_fanin": self.mean_fanin,
+            "mean_fanout": self.mean_fanout,
+            "mean_fanin_fanout": self.mean_fanin_fanout,
+            "max_fanin_fanout": self.max_fanin_fanout,
+            "min_fanin_fanout": self.min_fanin_fanout,
+            "isolated_neurons": self.isolated_neurons,
+        }
+
+
+def degree_statistics(network: ConnectionMatrix) -> DegreeStatistics:
+    """Compute :class:`DegreeStatistics` for a network."""
+    m = network.matrix.astype(np.int64)
+    fanout = m.sum(axis=1)
+    fanin = m.sum(axis=0)
+    total = fanin + fanout
+    return DegreeStatistics(
+        mean_fanin=float(fanin.mean()) if fanin.size else 0.0,
+        mean_fanout=float(fanout.mean()) if fanout.size else 0.0,
+        mean_fanin_fanout=float(total.mean()) if total.size else 0.0,
+        max_fanin_fanout=int(total.max()) if total.size else 0,
+        min_fanin_fanout=int(total.min()) if total.size else 0,
+        isolated_neurons=int(np.count_nonzero(total == 0)),
+    )

@@ -1,0 +1,155 @@
+"""Random quick-response-code-like binary patterns (paper Sec. 4.1).
+
+The paper's testbenches store "random quick response code patterns" in
+sparse Hopfield networks.  The original dataset is not published; we
+synthesize patterns with the structure of a digitized QR code image:
+
+* three **finder squares** (nested dark/light rings) in the corners,
+* a payload of random **modules**, each module covering a
+  ``module_size × module_size`` block of pixels — a QR image rasterized at
+  a finer resolution than its module grid, exactly what a camera or
+  testbench bitmap would contain.
+
+Module structure matters downstream: pixels of one module are perfectly
+correlated across patterns, so the Hebbian weights bind them into small
+cliques.  That is what gives the paper's testbench networks their
+clusterable topology (Fig. 3) *and* what makes recall robust (a module's
+pixels error-correct each other).  Downstream only the Hopfield connection
+topology matters, so any pattern family with similar module statistics is
+an acceptable substitute (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+def _finder_square(grid: np.ndarray, top: int, left: int, size: int) -> None:
+    """Stamp a QR finder pattern (nested squares) into ``grid`` in place."""
+    side = grid.shape[0]
+    size = min(size, side - top, side - left)
+    if size <= 0:
+        return
+    grid[top : top + size, left : left + size] = 1
+    if size > 2:
+        grid[top + 1 : top + size - 1, left + 1 : left + size - 1] = 0
+    if size > 4:
+        grid[top + 2 : top + size - 2, left + 2 : left + size - 2] = 1
+
+
+def qr_like_pattern(
+    dimension: int,
+    rng: RngLike = None,
+    fill: float = 0.5,
+    module_size: int = 3,
+    module_noise: float = 0.2,
+) -> np.ndarray:
+    """Generate one QR-like ±1 pattern of length ``dimension``.
+
+    The pattern is built on the smallest square pixel grid covering
+    ``dimension``: a random module raster (each module is a
+    ``module_size``-pixel square filled Bernoulli(``fill``)), stamped with
+    three corner finder squares, corrupted by per-pixel rasterization
+    noise (each pixel flips with probability ``module_noise``, as a real
+    digitized QR image would along module edges), then flattened and
+    truncated to exactly ``dimension`` entries.
+
+    ``module_noise`` tunes how strongly pixels of one module correlate
+    across patterns, which controls the clusterability of the Hopfield
+    testbench networks; the default reproduces the paper's single-MSC
+    outlier ratio (~57 %, Fig. 3).
+
+    Returns
+    -------
+    numpy.ndarray
+        A vector of ±1 values with shape ``(dimension,)``.
+    """
+    check_positive("dimension", dimension)
+    check_positive("module_size", module_size)
+    if fill <= 0.0 or fill >= 1.0:
+        raise ValueError(f"fill must lie strictly in (0, 1), got {fill}")
+    if not 0.0 <= module_noise < 0.5:
+        raise ValueError(f"module_noise must lie in [0, 0.5), got {module_noise}")
+    rng = ensure_rng(rng)
+    side = int(math.ceil(math.sqrt(dimension)))
+    modules = int(math.ceil(side / module_size))
+    module_values = (rng.random((modules, modules)) < fill).astype(np.int8)
+    grid = np.kron(module_values, np.ones((module_size, module_size), dtype=np.int8))
+    grid = grid[:side, :side]
+    # Three finder squares in the QR corners, scaled with the grid so the
+    # deterministic structure stays a small fraction of the pattern
+    # (over-large finders correlate the patterns and collapse recall).
+    finder = max(3, side // 6)
+    _finder_square(grid, 0, 0, finder)
+    _finder_square(grid, 0, max(0, side - finder), finder)
+    _finder_square(grid, max(0, side - finder), 0, finder)
+    if module_noise > 0.0:
+        flip = rng.random((side, side)) < module_noise
+        grid = np.where(flip, 1 - grid, grid).astype(np.int8)
+    flat = grid.reshape(-1)[:dimension]
+    return (flat.astype(np.int8) * 2 - 1).astype(np.int8)
+
+
+def qr_like_patterns(
+    count: int,
+    dimension: int,
+    rng: RngLike = None,
+    fill: float = 0.5,
+    module_size: int = 3,
+    module_noise: float = 0.2,
+) -> np.ndarray:
+    """Generate ``count`` independent QR-like ±1 patterns.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(count, dimension)`` with ±1 entries.  Patterns
+        are regenerated on (exact) duplication so a training set never
+        contains two identical patterns.
+    """
+    check_positive("count", count)
+    check_positive("dimension", dimension)
+    rng = ensure_rng(rng)
+    patterns: List[np.ndarray] = []
+    seen = set()
+    attempts = 0
+    while len(patterns) < count:
+        attempts += 1
+        if attempts > 50 * count:
+            raise RuntimeError(
+                "could not generate enough distinct patterns; "
+                "dimension too small for the requested count"
+            )
+        candidate = qr_like_pattern(
+            dimension, rng=rng, fill=fill, module_size=module_size, module_noise=module_noise
+        )
+        key = candidate.tobytes()
+        if key in seen:
+            continue
+        seen.add(key)
+        patterns.append(candidate)
+    return np.stack(patterns)
+
+
+def corrupt_pattern(pattern: np.ndarray, flip_fraction: float, rng: RngLike = None) -> np.ndarray:
+    """Return a copy of ``pattern`` with a random fraction of entries flipped.
+
+    Used to probe Hopfield recall: the paper's testbenches must keep a
+    recognition rate above 90 % (Sec. 4.1).
+    """
+    if flip_fraction < 0.0 or flip_fraction > 1.0:
+        raise ValueError(f"flip_fraction must lie in [0, 1], got {flip_fraction}")
+    rng = ensure_rng(rng)
+    pattern = np.asarray(pattern)
+    flipped = pattern.copy()
+    n_flip = int(round(flip_fraction * pattern.size))
+    if n_flip:
+        idx = rng.choice(pattern.size, size=n_flip, replace=False)
+        flipped[idx] = -flipped[idx]
+    return flipped

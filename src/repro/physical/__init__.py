@@ -1,0 +1,31 @@
+"""Customized physical design: analytical placement, maze routing, cost.
+
+The paper (Sec. 3.5) cannot reuse standard-cell placers because the NCS
+problem has (1) wire weights between memristors and crossbars, (2)
+mixed-size cells (neurons, memristors, crossbars), and (3) no row
+alignment.  This package implements the paper's analytical formulation:
+
+``min WL(x, y) + λ·D(x, y)`` with the weighted-average (WA) wirelength
+model [13], a sigmoid-based pairwise density model [14], a λ-doubling
+penalty loop solved by conjugate gradient [15] (Algorithm 4), followed by
+grid-graph maze routing [16,18] with virtual capacity [17], and the cost
+function ``Cost = α·L + β·A + δ·T`` (eq. 3).
+"""
+
+from repro.physical.cost import CostWeights, PhysicalCost, evaluate_cost
+from repro.physical.layout import Placement, PhysicalDesign
+from repro.physical.placement import PlacementConfig, place
+from repro.physical.routing import RoutingConfig, RoutingResult, route
+
+__all__ = [
+    "CostWeights",
+    "PhysicalCost",
+    "PhysicalDesign",
+    "Placement",
+    "PlacementConfig",
+    "RoutingConfig",
+    "RoutingResult",
+    "evaluate_cost",
+    "place",
+    "route",
+]

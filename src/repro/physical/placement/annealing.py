@@ -1,0 +1,180 @@
+"""Simulated-annealing placement baseline (extension).
+
+The paper's placer is analytical (Algorithm 4); classic annealing is the
+traditional alternative and makes a useful quality/runtime reference for
+ablation benches.  Cells start from the same area-aware initial layout,
+then random single-cell moves and pair swaps are accepted by the
+Metropolis rule on ``HPWL + λ·overlap``; a final push-apart legalization
+matches the analytic flow's post-processing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.mapping.netlist import Netlist
+from repro.physical.layout import Placement
+from repro.physical.placement.initial import initial_placement
+from repro.physical.placement.legalize import legalize
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class AnnealingConfig:
+    """Annealing schedule and move parameters."""
+
+    moves_per_temperature: int = 400
+    temperatures: int = 40
+    cooling: float = 0.85
+    initial_acceptance: float = 0.8
+    overlap_weight: float = 4.0
+    move_scale_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.moves_per_temperature < 1 or self.temperatures < 1:
+            raise ValueError("move/temperature budgets must be >= 1")
+        if not 0.0 < self.cooling < 1.0:
+            raise ValueError("cooling must lie in (0, 1)")
+        if not 0.0 < self.initial_acceptance < 1.0:
+            raise ValueError("initial_acceptance must lie in (0, 1)")
+
+
+def _wire_cost(
+    x: np.ndarray,
+    y: np.ndarray,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    weights: np.ndarray,
+) -> float:
+    return float(
+        np.sum(
+            weights
+            * (np.abs(x[sources] - x[targets]) + np.abs(y[sources] - y[targets]))
+        )
+    )
+
+
+def _cell_overlap(
+    x: np.ndarray, y: np.ndarray, half_w: np.ndarray, half_h: np.ndarray, i: int
+) -> float:
+    """Total overlap area between cell ``i`` and all other cells."""
+    dx = np.abs(x - x[i])
+    dy = np.abs(y - y[i])
+    ox = np.maximum(0.0, half_w + half_w[i] - dx)
+    oy = np.maximum(0.0, half_h + half_h[i] - dy)
+    overlap = ox * oy
+    overlap[i] = 0.0
+    return float(overlap.sum())
+
+
+def anneal_place(
+    netlist: Netlist,
+    technology: Technology = DEFAULT_TECHNOLOGY,
+    config: AnnealingConfig = None,
+    rng: RngLike = None,
+) -> Placement:
+    """Place a netlist by simulated annealing; returns a legalized placement."""
+    if config is None:
+        config = AnnealingConfig()
+    rng = ensure_rng(rng)
+    widths = netlist.widths()
+    heights = netlist.heights()
+    omega = technology.routing_space_factor
+    virtual_w = widths * omega
+    virtual_h = heights * omega
+    half_w = virtual_w / 2.0
+    half_h = virtual_h / 2.0
+    n = netlist.num_cells
+    x, y = initial_placement(virtual_w, virtual_h, rng=rng)
+    sources, targets, wire_weights = netlist.wire_endpoints()
+
+    # Per-cell wire adjacency for incremental cost evaluation.
+    incident = [[] for _ in range(n)]
+    for w_idx in range(sources.shape[0]):
+        incident[sources[w_idx]].append(w_idx)
+        incident[targets[w_idx]].append(w_idx)
+    incident = [np.asarray(lst, dtype=int) for lst in incident]
+
+    def local_cost(i: int) -> float:
+        wires = incident[i]
+        wl = 0.0
+        if wires.size:
+            wl = float(
+                np.sum(
+                    wire_weights[wires]
+                    * (
+                        np.abs(x[sources[wires]] - x[targets[wires]])
+                        + np.abs(y[sources[wires]] - y[targets[wires]])
+                    )
+                )
+            )
+        return wl + config.overlap_weight * _cell_overlap(x, y, half_w, half_h, i)
+
+    span = max(float(np.ptp(x)), float(np.ptp(y)), 1.0)
+    move_scale = config.move_scale_fraction * span
+
+    # Calibrate the starting temperature from sampled uphill deltas.
+    samples = []
+    for _ in range(30):
+        i = int(rng.integers(0, n))
+        before = local_cost(i)
+        old = (x[i], y[i])
+        x[i] += rng.normal(0.0, move_scale)
+        y[i] += rng.normal(0.0, move_scale)
+        delta = local_cost(i) - before
+        x[i], y[i] = old
+        if delta > 0:
+            samples.append(delta)
+    mean_uphill = float(np.mean(samples)) if samples else 1.0
+    temperature = -mean_uphill / np.log(config.initial_acceptance)
+
+    accepted_total = 0
+    for _ in range(config.temperatures):
+        for _ in range(config.moves_per_temperature):
+            i = int(rng.integers(0, n))
+            if rng.random() < 0.8:  # displacement move
+                before = local_cost(i)
+                old = (x[i], y[i])
+                x[i] += rng.normal(0.0, move_scale)
+                y[i] += rng.normal(0.0, move_scale)
+                delta = local_cost(i) - before
+                if delta > 0 and rng.random() >= np.exp(-delta / max(temperature, 1e-12)):
+                    x[i], y[i] = old
+                else:
+                    accepted_total += 1
+            else:  # pair swap
+                j = int(rng.integers(0, n))
+                if i == j:
+                    continue
+                before = local_cost(i) + local_cost(j)
+                x[i], x[j] = x[j], x[i]
+                y[i], y[j] = y[j], y[i]
+                delta = local_cost(i) + local_cost(j) - before
+                if delta > 0 and rng.random() >= np.exp(-delta / max(temperature, 1e-12)):
+                    x[i], x[j] = x[j], x[i]
+                    y[i], y[j] = y[j], y[i]
+                else:
+                    accepted_total += 1
+        temperature *= config.cooling
+        move_scale = max(move_scale * 0.95, 0.01 * span)
+
+    x, y, legal_info = legalize(x, y, virtual_w, virtual_h, rng=rng)
+    if x.size:
+        x = x - np.min(x - widths / 2.0)
+        y = y - np.min(y - heights / 2.0)
+    return Placement(
+        x=x,
+        y=y,
+        widths=widths,
+        heights=heights,
+        metadata={
+            "method": "annealing",
+            "accepted_moves": accepted_total,
+            "final_temperature": temperature,
+            "legalization": legal_info,
+            "final_hpwl": _wire_cost(x, y, sources, targets, np.ones_like(wire_weights)),
+        },
+    )

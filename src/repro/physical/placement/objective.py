@@ -1,0 +1,102 @@
+"""The penalty objective ``WL(x, y) + λ·D(x, y)`` of Algorithm 4."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.physical.placement.density import density_value_and_grad
+from repro.physical.placement.wirelength import wa_wirelength_and_grad
+
+
+class PlacementObjective:
+    """Callable objective bundling wirelength and density terms.
+
+    Operates on a packed variable vector ``z = [x; y]`` so generic
+    optimizers can consume it.
+
+    Parameters
+    ----------
+    sources, targets, weights:
+        2-pin wire endpoint arrays and user wire weights.
+    virtual_widths, virtual_heights:
+        Cell dimensions with the routing-space factor ω applied.
+    gamma:
+        WA smoothness (µm).
+    tau:
+        Density sigmoid smoothing (µm).
+    """
+
+    def __init__(
+        self,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        weights: np.ndarray,
+        virtual_widths: np.ndarray,
+        virtual_heights: np.ndarray,
+        gamma: float,
+        tau: float,
+    ) -> None:
+        if gamma <= 0 or tau <= 0:
+            raise ValueError("gamma and tau must be > 0")
+        self.sources = np.asarray(sources, dtype=int)
+        self.targets = np.asarray(targets, dtype=int)
+        self.weights = np.asarray(weights, dtype=float)
+        self.virtual_widths = np.asarray(virtual_widths, dtype=float)
+        self.virtual_heights = np.asarray(virtual_heights, dtype=float)
+        self.gamma = float(gamma)
+        self.tau = float(tau)
+        self.lam = 0.0
+        self.n = self.virtual_widths.shape[0]
+
+    # ------------------------------------------------------------------
+    def unpack(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Split a packed variable vector into (x, y)."""
+        z = np.asarray(z, dtype=float)
+        if z.shape != (2 * self.n,):
+            raise ValueError(f"z must have shape ({2 * self.n},), got {z.shape}")
+        return z[: self.n], z[self.n :]
+
+    def pack(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Concatenate (x, y) into the packed variable vector."""
+        return np.concatenate([np.asarray(x, dtype=float), np.asarray(y, dtype=float)])
+
+    # ------------------------------------------------------------------
+    def wirelength_and_grad(self, z: np.ndarray) -> Tuple[float, np.ndarray]:
+        """WA wirelength term and its packed gradient."""
+        x, y = self.unpack(z)
+        value, gx, gy = wa_wirelength_and_grad(
+            x, y, self.sources, self.targets, self.weights, self.gamma
+        )
+        return value, np.concatenate([gx, gy])
+
+    def density_and_grad(self, z: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Density term and its packed gradient."""
+        x, y = self.unpack(z)
+        value, gx, gy = density_value_and_grad(
+            x, y, self.virtual_widths, self.virtual_heights, self.tau
+        )
+        return value, np.concatenate([gx, gy])
+
+    def value_and_grad(self, z: np.ndarray) -> Tuple[float, np.ndarray]:
+        """``WL + λ·D`` with gradient, at the current λ."""
+        wl, wl_grad = self.wirelength_and_grad(z)
+        if self.lam == 0.0:
+            return wl, wl_grad
+        d, d_grad = self.density_and_grad(z)
+        return wl + self.lam * d, wl_grad + self.lam * d_grad
+
+    def __call__(self, z: np.ndarray) -> Tuple[float, np.ndarray]:
+        return self.value_and_grad(z)
+
+    # ------------------------------------------------------------------
+    def initial_lambda(self, z: np.ndarray) -> float:
+        """Algorithm 4 line 1: ``λ0 = Σ|∂WL| / Σ|∂D|``."""
+        _, wl_grad = self.wirelength_and_grad(z)
+        _, d_grad = self.density_and_grad(z)
+        denominator = float(np.sum(np.abs(d_grad)))
+        numerator = float(np.sum(np.abs(wl_grad)))
+        if denominator <= 1e-12:
+            return 1.0
+        return numerator / denominator

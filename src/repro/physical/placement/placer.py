@@ -1,0 +1,225 @@
+"""The placement driver — paper Algorithm 4, with a customized front/back end.
+
+Pipeline:
+
+1. **Seed** (Algorithm 4 line 1, "regular location", customized): a
+   connectivity-aware seed places crossbars on a spectral-ordered grid,
+   neurons on their crossbars' centroids and synapses between their
+   endpoints (:mod:`~repro.physical.placement.seed`); designs without
+   crossbar structure fall back to an area-aware packed grid.
+2. **Penalty loop** (lines 2–6): minimize ``WL(x,y) + λ·D(x,y)`` by
+   conjugate gradient, doubling λ while the overlap exceeds the threshold.
+3. **Legalization** (line 7): a structure-preserving grid-snap assigns
+   every cell the free site nearest its optimized location; the snap of
+   the raw seed is kept as a second candidate and the better (by weighted
+   HPWL) wins — the analytic refinement is never allowed to end worse
+   than its own starting point.
+4. **Compaction**: constraint-graph scanline compaction squeezes out the
+   remaining whitespace without reordering cells.
+
+Cells use *virtual* dimensions (physical size × the routing-space factor
+ω, Sec. 3.5) through steps 1–4 so that routing space is reserved around
+every cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.hardware.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.mapping.netlist import CellKind, Netlist
+from repro.physical.layout import Placement
+from repro.physical.placement.density import true_overlap
+from repro.physical.placement.initial import initial_placement
+from repro.physical.placement.legalize import compact, grid_snap
+from repro.physical.placement.objective import PlacementObjective
+from repro.physical.placement.optimizer import conjugate_gradient
+from repro.physical.placement.seed import connectivity_seed
+from repro.physical.placement.wirelength import hpwl
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class PlacementConfig:
+    """Tuning knobs of the analytical placer.
+
+    ``None`` values are auto-scaled from the design size at run time.
+
+    Attributes
+    ----------
+    gamma_um / tau_um:
+        WA and density smoothing lengths; auto ≈ 1 % / 0.5 % of the
+        estimated chip side.
+    whitespace_factor:
+        Initial-region inflation over total virtual cell area.
+    overlap_threshold:
+        Stop doubling λ once total (virtual) overlap area over total
+        (virtual) cell area falls below this ratio.
+    max_lambda_stages / cg_iterations_per_stage:
+        Penalty-loop budget (Algorithm 4 lines 2–6).
+    use_connectivity_seed:
+        Start from the cluster-structure-aware seed (default) instead of
+        the area-packed grid.
+    snap_fill:
+        Target utilization of the grid-snap occupancy map.
+    compaction_passes:
+        Scanline compaction passes after legalization.
+    routing_space_factor:
+        Override of the technology's ω; ``None`` uses the technology value.
+    """
+
+    gamma_um: Optional[float] = None
+    tau_um: Optional[float] = None
+    whitespace_factor: float = 1.8
+    overlap_threshold: float = 0.02
+    max_lambda_stages: int = 8
+    cg_iterations_per_stage: int = 30
+    use_connectivity_seed: bool = True
+    snap_fill: float = 0.72
+    compaction_passes: int = 2
+    routing_space_factor: Optional[float] = None
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.whitespace_factor < 1.0:
+            raise ValueError(f"whitespace_factor must be >= 1, got {self.whitespace_factor}")
+        if not 0.0 < self.overlap_threshold < 1.0:
+            raise ValueError(
+                f"overlap_threshold must lie in (0, 1), got {self.overlap_threshold}"
+            )
+        if self.max_lambda_stages < 1 or self.cg_iterations_per_stage < 1:
+            raise ValueError("stage/iteration budgets must be >= 1")
+        if not 0.0 < self.snap_fill < 1.0:
+            raise ValueError(f"snap_fill must lie in (0, 1), got {self.snap_fill}")
+        if self.compaction_passes < 0:
+            raise ValueError("compaction_passes must be >= 0")
+
+
+#: A reduced-effort configuration for unit tests and quick examples.
+FAST_PLACEMENT = PlacementConfig(max_lambda_stages=4, cg_iterations_per_stage=12)
+
+
+def place(
+    netlist: Netlist,
+    technology: Technology = DEFAULT_TECHNOLOGY,
+    config: Optional[PlacementConfig] = None,
+    rng: RngLike = None,
+) -> Placement:
+    """Place a netlist and return a legalized, compacted placement.
+
+    The returned :class:`Placement` stores *physical* cell dimensions; its
+    metadata records the λ schedule, the winning snapshot, and HPWL at the
+    pipeline milestones.
+    """
+    if config is None:
+        config = PlacementConfig()
+    rng = ensure_rng(rng)
+    widths = netlist.widths()
+    heights = netlist.heights()
+    omega = (
+        config.routing_space_factor
+        if config.routing_space_factor is not None
+        else technology.routing_space_factor
+    )
+    virtual_w = widths * omega
+    virtual_h = heights * omega
+    total_virtual_area = float(np.sum(virtual_w * virtual_h))
+    sources, targets, wire_weights = netlist.wire_endpoints()
+
+    has_crossbars = any(cell.kind == CellKind.CROSSBAR for cell in netlist.cells)
+    if config.use_connectivity_seed and sources.size and has_crossbars:
+        seed_x, seed_y = connectivity_seed(netlist, virtual_w, virtual_h, rng=rng)
+        seed_kind = "connectivity"
+    else:
+        seed_x, seed_y = initial_placement(
+            virtual_w, virtual_h, whitespace_factor=config.whitespace_factor, rng=rng
+        )
+        seed_kind = "area_grid"
+
+    side_estimate = float(np.sqrt(total_virtual_area * config.whitespace_factor))
+    gamma = config.gamma_um if config.gamma_um is not None else max(0.01 * side_estimate, 0.5)
+    tau = config.tau_um if config.tau_um is not None else max(0.005 * side_estimate, 0.25)
+
+    stage_log = []
+    x, y = seed_x, seed_y
+    if sources.size:
+        objective = PlacementObjective(
+            sources=sources,
+            targets=targets,
+            weights=wire_weights,
+            virtual_widths=virtual_w,
+            virtual_heights=virtual_h,
+            gamma=gamma,
+            tau=tau,
+        )
+        z = objective.pack(seed_x, seed_y)
+        lam = objective.initial_lambda(z)  # Algorithm 4 line 1
+        for stage in range(1, config.max_lambda_stages + 1):
+            objective.lam = lam
+            result = conjugate_gradient(
+                objective.value_and_grad,
+                z,
+                max_iterations=config.cg_iterations_per_stage,
+            )
+            z = result.z
+            x, y = objective.unpack(z)
+            overlap = true_overlap(x, y, virtual_w, virtual_h)
+            overlap_ratio = overlap / total_virtual_area if total_virtual_area else 0.0
+            stage_log.append(
+                {
+                    "stage": stage,
+                    "lambda": lam,
+                    "objective": result.value,
+                    "cg_iterations": result.iterations,
+                    "overlap_ratio": overlap_ratio,
+                }
+            )
+            if overlap_ratio <= config.overlap_threshold:
+                break
+            lam *= 2.0  # Algorithm 4 line 5
+
+    def weighted_hpwl(px: np.ndarray, py: np.ndarray) -> float:
+        if not sources.size:
+            return 0.0
+        return hpwl(px, py, sources, targets, weights=wire_weights)
+
+    # Two legal candidates: snap of the seed and snap of the refined layout.
+    candidates = {}
+    snap_seed = grid_snap(seed_x, seed_y, virtual_w, virtual_h, fill=config.snap_fill)
+    candidates["seed"] = snap_seed
+    if stage_log:
+        snap_refined = grid_snap(x, y, virtual_w, virtual_h, fill=config.snap_fill)
+        candidates["refined"] = snap_refined
+    chosen_name, (x, y) = min(
+        candidates.items(), key=lambda item: weighted_hpwl(item[1][0], item[1][1])
+    )
+    hpwl_after_snap = weighted_hpwl(x, y)
+    if config.compaction_passes:
+        x, y = compact(x, y, virtual_w, virtual_h, passes=config.compaction_passes)
+    hpwl_after_compact = weighted_hpwl(x, y)
+
+    # Normalize to a (0, 0) origin for readable layouts (physical extents).
+    if x.size:
+        x = x - np.min(x - widths / 2.0)
+        y = y - np.min(y - heights / 2.0)
+    return Placement(
+        x=x,
+        y=y,
+        widths=widths,
+        heights=heights,
+        metadata={
+            "seed": seed_kind,
+            "stages": stage_log,
+            "gamma_um": gamma,
+            "tau_um": tau,
+            "routing_space_factor": omega,
+            "chosen_snapshot": chosen_name,
+            "legalization": {"method": "grid_snap+compact", "overlap_ratio": 0.0},
+            "hpwl_seed": weighted_hpwl(seed_x, seed_y),
+            "hpwl_after_legalization": hpwl_after_snap,
+            "hpwl_after_compaction": hpwl_after_compact,
+        },
+    )

@@ -1,0 +1,13 @@
+"""Global routing: grid graph [18] + maze routing [16] + virtual capacity [17]."""
+
+from repro.physical.routing.grid import RoutingGrid
+from repro.physical.routing.maze import maze_route
+from repro.physical.routing.router import RoutingConfig, RoutingResult, route
+
+__all__ = [
+    "RoutingConfig",
+    "RoutingGrid",
+    "RoutingResult",
+    "maze_route",
+    "route",
+]

@@ -1,0 +1,155 @@
+"""Maze routing (paper Sec. 3.5, after Lee [16]) as windowed A*.
+
+Classic maze routing is a BFS wave expansion; with congestion-dependent
+edge costs it generalizes to Dijkstra/A*.  We search inside a window (the
+pins' bounding box plus a margin) for speed, falling back to the full grid
+when the window has no path, and treat edges at capacity as blocked unless
+the caller allows overflow (used by the final never-fail pass).
+
+The inner search runs on flat numpy arrays reused across calls (an epoch
+counter invalidates stale state instead of reallocating), which keeps the
+per-wire cost low enough to route tens of thousands of wires in seconds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+import numpy as np
+
+from repro.physical.routing.grid import BinCoord, RoutingGrid
+
+
+class MazeWorkspace:
+    """Reusable per-grid search state (g-scores, parents, epochs)."""
+
+    def __init__(self, grid: RoutingGrid) -> None:
+        size = grid.nx * grid.ny
+        self.grid = grid
+        self.g_score = np.zeros(size)
+        self.parent = np.full(size, -1, dtype=np.int64)
+        self.stamp = np.zeros(size, dtype=np.int64)
+        self.closed = np.zeros(size, dtype=np.int64)
+        self.epoch = 0
+
+    def begin(self) -> None:
+        """Start a fresh search; previous state becomes stale by epoch."""
+        self.epoch += 1
+
+
+def maze_route(
+    grid: RoutingGrid,
+    start: BinCoord,
+    goal: BinCoord,
+    window_margin: int = 8,
+    congestion_weight: float = 2.0,
+    allow_overflow: bool = False,
+    overflow_penalty: float = 10.0,
+    workspace: Optional[MazeWorkspace] = None,
+) -> Optional[List[BinCoord]]:
+    """Find a min-cost bin path from ``start`` to ``goal``.
+
+    Edge cost is ``θ · (1 + congestion_weight · usage/capacity)``; an edge
+    at capacity is impassable unless ``allow_overflow`` is set, in which
+    case it costs an extra factor ``overflow_penalty``.
+
+    Returns the bin path including both endpoints, or ``None`` when no
+    path exists under the current capacities (with ``allow_overflow`` a
+    path always exists on a connected grid).
+    """
+    if window_margin < 0:
+        raise ValueError(f"window_margin must be >= 0, got {window_margin}")
+    if workspace is None:
+        workspace = MazeWorkspace(grid)
+    path = _a_star(
+        grid, start, goal, window_margin, congestion_weight,
+        allow_overflow, overflow_penalty, workspace,
+    )
+    if path is None and window_margin < max(grid.nx, grid.ny):
+        # Window too tight (congestion detour outside it) — search the full grid.
+        path = _a_star(
+            grid, start, goal, max(grid.nx, grid.ny), congestion_weight,
+            allow_overflow, overflow_penalty, workspace,
+        )
+    return path
+
+
+def _a_star(
+    grid: RoutingGrid,
+    start: BinCoord,
+    goal: BinCoord,
+    window_margin: int,
+    congestion_weight: float,
+    allow_overflow: bool,
+    overflow_penalty: float,
+    ws: MazeWorkspace,
+) -> Optional[List[BinCoord]]:
+    nx, ny = grid.nx, grid.ny
+    lo_x = max(0, min(start[0], goal[0]) - window_margin)
+    hi_x = min(nx - 1, max(start[0], goal[0]) + window_margin)
+    lo_y = max(0, min(start[1], goal[1]) - window_margin)
+    hi_y = min(ny - 1, max(start[1], goal[1]) + window_margin)
+    theta = grid.bin_um
+    gx, gy = goal
+    h_usage = grid.horizontal_usage
+    v_usage = grid.vertical_usage
+    h_capacity = grid.horizontal_capacity
+    v_capacity = grid.vertical_capacity
+
+    ws.begin()
+    epoch = ws.epoch
+    g_score = ws.g_score
+    parent = ws.parent
+    stamp = ws.stamp
+    closed = ws.closed
+
+    start_flat = start[0] * ny + start[1]
+    goal_flat = gx * ny + gy
+    g_score[start_flat] = 0.0
+    stamp[start_flat] = epoch
+    parent[start_flat] = -1
+    open_heap = [((abs(start[0] - gx) + abs(start[1] - gy)) * theta, start_flat)]
+    while open_heap:
+        _, current = heapq.heappop(open_heap)
+        if current == goal_flat:
+            flat_path = [current]
+            while parent[current] != -1:
+                current = parent[current]
+                flat_path.append(current)
+            flat_path.reverse()
+            return [(int(f // ny), int(f % ny)) for f in flat_path]
+        if closed[current] == epoch:
+            continue
+        closed[current] = epoch
+        cx, cy = current // ny, current % ny
+        current_g = g_score[current]
+        # unrolled 4-neighbour expansion
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nbx = cx + dx
+            nby = cy + dy
+            if not (lo_x <= nbx <= hi_x and lo_y <= nby <= hi_y):
+                continue
+            neighbor = nbx * ny + nby
+            if closed[neighbor] == epoch:
+                continue
+            if dx != 0:
+                ex = cx if dx > 0 else nbx
+                usage, capacity = h_usage[ex, cy], h_capacity[ex, cy]
+            else:
+                ey = cy if dy > 0 else nby
+                usage, capacity = v_usage[cx, ey], v_capacity[cx, ey]
+            if usage >= capacity:
+                if not allow_overflow:
+                    continue
+                step = theta * (1.0 + congestion_weight) * overflow_penalty
+            else:
+                step = theta * (1.0 + congestion_weight * (usage / capacity))
+            tentative = current_g + step
+            if stamp[neighbor] != epoch or tentative < g_score[neighbor]:
+                g_score[neighbor] = tentative
+                stamp[neighbor] = epoch
+                parent[neighbor] = current
+                heuristic = (abs(nbx - gx) + abs(nby - gy)) * theta
+                heapq.heappush(open_heap, (tentative + heuristic, neighbor))
+    return None

@@ -1,0 +1,241 @@
+"""The routing driver (paper Sec. 3.5).
+
+Order: "the routing order is determined by the distance from the center of
+gravity of all cells to its closest pin of wires" — central (most
+congested) wires route first — "if the distance is the same for more than
+two wires, we will use wire weighting as the tie breaker."
+
+Failure handling: "certain wires may fail to be routed by this routing
+order.  In that case, the virtual capacity will be relaxed for rerouting
+failed wires until all wires are routed."  A final allow-overflow pass
+guarantees completion even under extreme congestion (reported in the
+result's overflow statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hardware.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.mapping.netlist import Netlist
+from repro.physical.layout import Placement
+from repro.physical.routing.grid import BinCoord, RoutingGrid
+from repro.physical.routing.maze import MazeWorkspace, maze_route
+
+
+@dataclass
+class RoutingConfig:
+    """Tuning knobs of the global router.
+
+    ``None`` values fall back to the technology parameters (θ, capacity).
+    """
+
+    bin_um: Optional[float] = None
+    capacity_per_bin: Optional[int] = None
+    window_margin_bins: int = 8
+    congestion_weight: float = 2.0
+    max_relax_rounds: int = 5
+    relax_increment: int = 4
+    overflow_penalty: float = 10.0
+    region_margin_bins: int = 1
+    max_grid_bins: int = 56
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.window_margin_bins < 0:
+            raise ValueError("window_margin_bins must be >= 0")
+        if self.max_relax_rounds < 0:
+            raise ValueError("max_relax_rounds must be >= 0")
+        if self.relax_increment < 1:
+            raise ValueError("relax_increment must be >= 1")
+        if self.congestion_weight < 0:
+            raise ValueError("congestion_weight must be >= 0")
+        if self.max_grid_bins < 2:
+            raise ValueError("max_grid_bins must be >= 2")
+
+
+@dataclass
+class RoutedWire:
+    """One wire's routing outcome."""
+
+    wire_index: int
+    path: List[BinCoord]
+    length_um: float
+    overflowed: bool = False
+
+
+@dataclass
+class RoutingResult:
+    """Complete routing outcome: per-wire paths, lengths and congestion."""
+
+    wires: List[RoutedWire]
+    grid: RoutingGrid
+    relax_rounds: int
+    overflow_wires: int
+
+    @property
+    def total_wirelength_um(self) -> float:
+        """Total routed wirelength L (µm) — the Table 1 metric."""
+        return float(sum(w.length_um for w in self.wires))
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Per-wire routed lengths in wire-index order."""
+        ordered = sorted(self.wires, key=lambda w: w.wire_index)
+        return np.array([w.length_um for w in ordered])
+
+    @property
+    def horizontal_usage(self) -> np.ndarray:
+        """Horizontal routing-edge usage (for congestion maps)."""
+        return self.grid.horizontal_usage
+
+    @property
+    def vertical_usage(self) -> np.ndarray:
+        """Vertical routing-edge usage (for congestion maps)."""
+        return self.grid.vertical_usage
+
+    def congestion_map(self) -> np.ndarray:
+        """Per-bin wire counts (Fig. 10(b)/(d))."""
+        return self.grid.congestion_map()
+
+
+def _routing_order(
+    netlist: Netlist, placement: Placement
+) -> List[int]:
+    """Paper routing order: gravity-center distance, wire weight tie-break."""
+    cx = float(np.mean(placement.x))
+    cy = float(np.mean(placement.y))
+    keys = []
+    for index, wire in enumerate(netlist.wires):
+        dist_source = abs(placement.x[wire.source] - cx) + abs(placement.y[wire.source] - cy)
+        dist_target = abs(placement.x[wire.target] - cx) + abs(placement.y[wire.target] - cy)
+        closest = min(dist_source, dist_target)
+        # Ascending distance; ties broken by descending wire weight.
+        keys.append((closest, -wire.weight, index))
+    keys.sort()
+    return [index for _, _, index in keys]
+
+
+def route(
+    netlist: Netlist,
+    placement: Placement,
+    technology: Technology = DEFAULT_TECHNOLOGY,
+    config: Optional[RoutingConfig] = None,
+) -> RoutingResult:
+    """Globally route every wire of a placed netlist.
+
+    Pins sit at cell centers.  Wires whose pins share a bin get the
+    pin-to-pin Manhattan length and consume no edge capacity.
+    """
+    if config is None:
+        config = RoutingConfig()
+    if placement.num_cells != netlist.num_cells:
+        raise ValueError(
+            f"placement has {placement.num_cells} cells, netlist has {netlist.num_cells}"
+        )
+    bin_um = config.bin_um if config.bin_um is not None else technology.routing_bin_um
+    capacity = (
+        config.capacity_per_bin
+        if config.capacity_per_bin is not None
+        else technology.routing_capacity_per_bin
+    )
+    xmin, ymin, xmax, ymax = placement.bounding_box()
+    # Coarsen θ on large dies so the grid stays tractable; capacity scales
+    # with the merge factor (a wider boundary carries more wires).
+    span = max(xmax - xmin, ymax - ymin, bin_um)
+    if span / bin_um > config.max_grid_bins:
+        scale = span / (bin_um * config.max_grid_bins)
+        bin_um *= scale
+        capacity = max(1, int(round(capacity * scale)))
+    margin = config.region_margin_bins * bin_um
+    grid = RoutingGrid(
+        origin=(xmin - margin, ymin - margin),
+        width=(xmax - xmin) + 2 * margin,
+        height=(ymax - ymin) + 2 * margin,
+        bin_um=bin_um,
+        capacity=capacity,
+    )
+    workspace = MazeWorkspace(grid)
+
+    order = _routing_order(netlist, placement)
+    routed: Dict[int, RoutedWire] = {}
+    failed: List[int] = []
+
+    def try_route(index: int, allow_overflow: bool) -> Optional[RoutedWire]:
+        wire = netlist.wires[index]
+        sx, sy = placement.x[wire.source], placement.y[wire.source]
+        tx, ty = placement.x[wire.target], placement.y[wire.target]
+        start = grid.bin_of(sx, sy)
+        goal = grid.bin_of(tx, ty)
+        if start == goal:
+            length = abs(sx - tx) + abs(sy - ty)
+            return RoutedWire(wire_index=index, path=[start], length_um=float(length))
+        path = maze_route(
+            grid,
+            start,
+            goal,
+            window_margin=config.window_margin_bins,
+            congestion_weight=config.congestion_weight,
+            allow_overflow=allow_overflow,
+            overflow_penalty=config.overflow_penalty,
+            workspace=workspace,
+        )
+        if path is None:
+            return None
+        grid.add_usage(path)
+        overflowed = allow_overflow and _path_overflows(grid, path)
+        return RoutedWire(
+            wire_index=index,
+            path=path,
+            length_um=grid.path_length_um(path),
+            overflowed=overflowed,
+        )
+
+    for index in order:
+        outcome = try_route(index, allow_overflow=False)
+        if outcome is None:
+            failed.append(index)
+        else:
+            routed[index] = outcome
+
+    relax_rounds = 0
+    while failed and relax_rounds < config.max_relax_rounds:
+        relax_rounds += 1
+        grid.relax_capacity(config.relax_increment)
+        still_failed: List[int] = []
+        for index in failed:
+            outcome = try_route(index, allow_overflow=False)
+            if outcome is None:
+                still_failed.append(index)
+            else:
+                routed[index] = outcome
+        failed = still_failed
+
+    # Never-fail final pass: overflow allowed, heavily penalized.
+    overflow_wires = 0
+    for index in failed:
+        outcome = try_route(index, allow_overflow=True)
+        if outcome is None:  # pragma: no cover - connected grid always routes
+            raise RuntimeError(f"wire {index} could not be routed at all")
+        routed[index] = outcome
+        if outcome.overflowed:
+            overflow_wires += 1
+
+    return RoutingResult(
+        wires=[routed[i] for i in sorted(routed)],
+        grid=grid,
+        relax_rounds=relax_rounds,
+        overflow_wires=overflow_wires,
+    )
+
+
+def _path_overflows(grid: RoutingGrid, path: List[BinCoord]) -> bool:
+    """True when any edge on ``path`` exceeds its base capacity."""
+    for a, b in zip(path, path[1:]):
+        edge = grid.edge_between(a, b)
+        if grid.edge_usage(edge) > grid.base_capacity:
+            return True
+    return False

@@ -1,0 +1,22 @@
+"""Shared utilities: argument validation, seeded RNG handling, timers."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timers import Timer
+from repro.utils.validation import (
+    check_binary_matrix,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_square,
+)
+
+__all__ = [
+    "Timer",
+    "check_binary_matrix",
+    "check_in_range",
+    "check_positive",
+    "check_probability",
+    "check_square",
+    "ensure_rng",
+    "spawn_rng",
+]

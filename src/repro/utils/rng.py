@@ -1,0 +1,41 @@
+"""Seeded random-number-generator plumbing.
+
+All stochastic code in the library takes an ``rng`` argument that may be a
+``numpy.random.Generator``, an integer seed, or ``None``.  Converting through
+:func:`ensure_rng` at the API boundary keeps every experiment reproducible
+from a single seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Coerce ``rng`` into a ``numpy.random.Generator``.
+
+    ``None`` yields a fresh nondeterministic generator; an ``int`` seeds a new
+    generator; an existing generator passes through untouched.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, an int seed, or a numpy Generator, got {type(rng).__name__}")
+
+
+def spawn_rng(rng: RngLike, count: int) -> list:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Used when a driver hands sub-tasks (e.g. per-testbench runs) their own
+    stream so that re-ordering tasks does not perturb each other's draws.
+    """
+    parent = ensure_rng(rng)
+    seeds = parent.integers(0, 2**63 - 1, size=count)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

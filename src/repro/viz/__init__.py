@@ -1,0 +1,26 @@
+"""Dependency-free visualization: SVG and ASCII renderings of the figures.
+
+The paper's figures are images — connection-matrix scatter plots
+(Figs. 3–6), layout plots and congestion heat maps (Fig. 10).  This
+package renders the same artefacts as standalone SVG files (and quick
+ASCII previews) without any plotting dependency, so the benchmark harness
+can emit figure files next to its numeric series.
+"""
+
+from repro.viz.ascii_art import ascii_heatmap, ascii_layout, ascii_matrix
+from repro.viz.svg import (
+    congestion_to_svg,
+    layout_to_svg,
+    matrix_to_svg,
+    save_svg,
+)
+
+__all__ = [
+    "ascii_heatmap",
+    "ascii_layout",
+    "ascii_matrix",
+    "congestion_to_svg",
+    "layout_to_svg",
+    "matrix_to_svg",
+    "save_svg",
+]

@@ -1,0 +1,96 @@
+"""Tests for the crossbar preference CP (paper Sec. 3.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.preference import (
+    crossbar_preference,
+    crossbar_utilization,
+    minimum_satisfiable_size,
+)
+
+
+class TestCrossbarPreference:
+    def test_formula(self):
+        # CP = m^2 / s^3
+        assert crossbar_preference(8, 4) == pytest.approx(64 / 64)
+        assert crossbar_preference(3, 2) == pytest.approx(9 / 8)
+
+    def test_zero_connections(self):
+        assert crossbar_preference(0, 16) == 0.0
+
+    def test_full_crossbar(self):
+        # m = s^2 -> CP = s^4/s^3 = s
+        assert crossbar_preference(16, 4) == pytest.approx(4.0)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError, match="capacity"):
+            crossbar_preference(17, 4)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            crossbar_preference(-1, 4)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            crossbar_preference(1, 0)
+
+
+class TestPaperCriteria:
+    """The two monotonicity criteria of Sec. 3.1."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(s=st.integers(2, 64), m=st.integers(0, 100))
+    def test_criterion_a_increases_with_m(self, s, m):
+        m = min(m, s * s - 1)
+        assert crossbar_preference(m + 1, s) > crossbar_preference(m, s)
+
+    @settings(max_examples=30, deadline=None)
+    @given(s=st.integers(2, 63), m=st.integers(1, 16))
+    def test_criterion_b_decreases_with_s(self, s, m):
+        m = min(m, s * s)
+        assert crossbar_preference(m, s + 1) < crossbar_preference(m, s)
+
+
+class TestUtilization:
+    def test_formula(self):
+        assert crossbar_utilization(8, 4) == pytest.approx(0.5)
+
+    def test_bounds(self):
+        assert crossbar_utilization(0, 4) == 0.0
+        assert crossbar_utilization(16, 4) == 1.0
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            crossbar_utilization(17, 4)
+
+
+class TestMinimumSatisfiable:
+    SIZES = tuple(range(16, 65, 4))
+
+    def test_exact_fit(self):
+        assert minimum_satisfiable_size(16, self.SIZES) == 16
+
+    def test_rounds_up(self):
+        assert minimum_satisfiable_size(17, self.SIZES) == 20
+
+    def test_small_cluster_gets_smallest(self):
+        assert minimum_satisfiable_size(3, self.SIZES) == 16
+
+    def test_too_large_returns_none(self):
+        assert minimum_satisfiable_size(65, self.SIZES) is None
+
+    def test_zero_cluster(self):
+        assert minimum_satisfiable_size(0, self.SIZES) == 16
+
+    def test_unsorted_sizes_ok(self):
+        assert minimum_satisfiable_size(30, (64, 16, 32)) == 32
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(ValueError):
+            minimum_satisfiable_size(3, ())
+
+    def test_rejects_negative_cluster(self):
+        with pytest.raises(ValueError):
+            minimum_satisfiable_size(-1, self.SIZES)

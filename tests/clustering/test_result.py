@@ -1,0 +1,72 @@
+"""Tests for cluster containers."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.result import Cluster, ClusteringResult, clusters_from_labels
+
+
+class TestCluster:
+    def test_members_sorted_unique(self):
+        cluster = Cluster((3, 1, 2))
+        assert cluster.members == (1, 2, 3)
+        assert cluster.size == 3
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="unique"):
+            Cluster((1, 1, 2))
+
+    def test_contains_and_iter(self):
+        cluster = Cluster((5, 7))
+        assert 5 in cluster
+        assert 6 not in cluster
+        assert list(cluster) == [5, 7]
+        assert len(cluster) == 2
+
+
+class TestClusteringResult:
+    def test_valid_partition(self):
+        result = ClusteringResult(
+            clusters=[Cluster((0, 1)), Cluster((2,))], n=3, method="msc"
+        )
+        assert result.k == 2
+        assert result.sizes() == [2, 1]
+        assert result.max_size() == 2
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError, match="overlap"):
+            ClusteringResult(clusters=[Cluster((0, 1)), Cluster((1, 2))], n=3)
+
+    def test_rejects_incomplete_cover(self):
+        with pytest.raises(ValueError, match="cover"):
+            ClusteringResult(clusters=[Cluster((0,))], n=3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ClusteringResult(clusters=[Cluster((0, 5))], n=2)
+
+    def test_labels_roundtrip(self):
+        result = ClusteringResult(
+            clusters=[Cluster((0, 2)), Cluster((1, 3))], n=4
+        )
+        labels = result.labels()
+        assert labels[0] == labels[2]
+        assert labels[1] == labels[3]
+        assert labels[0] != labels[1]
+
+    def test_permutation_groups_clusters(self):
+        result = ClusteringResult(clusters=[Cluster((0, 2)), Cluster((1,))], n=3)
+        np.testing.assert_array_equal(result.permutation(), [0, 2, 1])
+
+
+class TestClustersFromLabels:
+    def test_basic(self):
+        clusters = clusters_from_labels([0, 1, 0, 2])
+        assert [c.members for c in clusters] == [(0, 2), (1,), (3,)]
+
+    def test_skips_missing_labels(self):
+        clusters = clusters_from_labels([5, 5, 9])
+        assert len(clusters) == 2
+
+    def test_empty(self):
+        assert clusters_from_labels([]) == []

@@ -1,0 +1,104 @@
+"""Tests for MSC (Algorithm 1) and the spectral embedding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.spectral import modified_spectral_clustering, spectral_embedding
+from repro.networks import ConnectionMatrix, block_diagonal_network, random_sparse_network
+
+
+class TestSpectralEmbedding:
+    def test_full_basis_shape(self, block_network):
+        basis, values = spectral_embedding(block_network, k=None)
+        n = block_network.size
+        assert basis.shape == (n, n)
+        assert values.shape == (n,)
+
+    def test_partial_basis(self, block_network):
+        basis, values = spectral_embedding(block_network, k=5)
+        assert basis.shape == (block_network.size, 5)
+
+    def test_eigenvalues_ascending(self, block_network):
+        _, values = spectral_embedding(block_network, k=None)
+        assert np.all(np.diff(values) >= -1e-9)
+
+    def test_smallest_eigenvalue_near_zero(self, block_network):
+        # The constant vector is in the kernel of L for a connected graph.
+        _, values = spectral_embedding(block_network, k=1)
+        assert values[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_number_of_near_zero_eigenvalues_counts_components(self):
+        # Two disconnected cliques -> two ~zero generalized eigenvalues.
+        m = np.zeros((6, 6), dtype=int)
+        m[:3, :3] = 1
+        m[3:, 3:] = 1
+        np.fill_diagonal(m, 0)
+        _, values = spectral_embedding(ConnectionMatrix(m), k=3)
+        assert values[0] == pytest.approx(0.0, abs=1e-8)
+        assert values[1] == pytest.approx(0.0, abs=1e-8)
+        assert values[2] > 1e-6
+
+    def test_isolated_nodes_handled(self):
+        m = np.zeros((5, 5), dtype=int)
+        m[0, 1] = m[1, 0] = 1
+        basis, _ = spectral_embedding(ConnectionMatrix(m), k=2)
+        assert np.all(np.isfinite(basis))
+
+    def test_rejects_bad_k(self, block_network):
+        with pytest.raises(ValueError):
+            spectral_embedding(block_network, k=0)
+        with pytest.raises(ValueError):
+            spectral_embedding(block_network, k=block_network.size + 1)
+
+    def test_accepts_raw_matrix(self):
+        w = np.array([[0.0, 1.0], [1.0, 0.0]])
+        basis, _ = spectral_embedding(w, k=1)
+        assert basis.shape == (2, 1)
+
+    def test_rejects_non_square_similarity(self):
+        with pytest.raises(ValueError):
+            spectral_embedding(np.zeros((2, 3)), k=1)
+
+
+class TestMsc:
+    def test_recovers_planted_blocks(self, block_network):
+        result = modified_spectral_clustering(block_network, 3, rng=0)
+        assert result.k == 3
+        assert sorted(result.sizes()) == [20, 25, 30]
+        clusters = [c.members for c in result.clusters]
+        assert block_network.outlier_ratio(clusters) < 0.1
+
+    def test_metadata(self, block_network):
+        result = modified_spectral_clustering(block_network, 3, rng=0)
+        assert result.method == "msc"
+        assert result.metadata["requested_k"] == 3
+
+    def test_partition_complete(self, sparse_network):
+        result = modified_spectral_clustering(sparse_network, 4, rng=0)
+        covered = sorted(m for c in result.clusters for m in c.members)
+        assert covered == list(range(sparse_network.size))
+
+    def test_k_one_single_cluster(self, sparse_network):
+        result = modified_spectral_clustering(sparse_network, 1, rng=0)
+        assert result.k == 1
+        assert result.clusters[0].size == sparse_network.size
+
+    def test_rejects_bad_k(self, sparse_network):
+        with pytest.raises(ValueError):
+            modified_spectral_clustering(sparse_network, 0)
+
+    def test_directed_network_symmetrized(self):
+        net = random_sparse_network(40, 0.1, symmetric=False, rng=3)
+        result = modified_spectral_clustering(net, 3, rng=0)
+        assert result.k <= 3  # empty clusters may collapse
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10**6), k=st.integers(1, 6))
+def test_property_msc_always_partitions(seed, k):
+    net = random_sparse_network(30, 0.1, rng=seed)
+    result = modified_spectral_clustering(net, k, rng=seed)
+    covered = sorted(m for c in result.clusters for m in c.members)
+    assert covered == list(range(30))

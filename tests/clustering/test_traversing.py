@@ -1,0 +1,37 @@
+"""Tests for the traversing baseline."""
+
+import pytest
+
+from repro.clustering.traversing import traversing_clustering
+from repro.networks import random_sparse_network
+
+
+class TestTraversing:
+    def test_respects_limit(self, block_network):
+        result = traversing_clustering(block_network, 20, rng=0)
+        assert result.max_size() <= 20
+
+    def test_partition_complete(self, block_network):
+        result = traversing_clustering(block_network, 20, rng=0)
+        covered = sorted(m for c in result.clusters for m in c.members)
+        assert covered == list(range(block_network.size))
+
+    def test_metadata_attempts(self, block_network):
+        result = traversing_clustering(block_network, 20, rng=0)
+        assert result.method == "traversing"
+        assert result.metadata["attempts"] >= 1
+        assert result.metadata["final_k"] >= block_network.size // 20
+
+    def test_limit_one(self):
+        net = random_sparse_network(10, 0.3, rng=0)
+        result = traversing_clustering(net, 1, rng=0)
+        assert result.max_size() == 1
+
+    def test_rejects_bad_limit(self, block_network):
+        with pytest.raises(ValueError):
+            traversing_clustering(block_network, 0)
+
+    def test_without_embedding_reuse(self):
+        net = random_sparse_network(20, 0.2, rng=1)
+        result = traversing_clustering(net, 8, rng=0, reuse_embedding=False)
+        assert result.max_size() <= 8

@@ -1,0 +1,50 @@
+"""Shared fixtures: small, fast networks and pre-run flows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import iterative_spectral_clustering
+from repro.mapping import autoncs_mapping, fullcro_mapping, fullcro_utilization
+from repro.networks import block_diagonal_network, random_sparse_network
+
+
+@pytest.fixture(scope="session")
+def block_network():
+    """A 75-neuron planted-block network — clusters are easy to find."""
+    return block_diagonal_network([30, 25, 20], within_density=0.8,
+                                  between_density=0.01, rng=1)
+
+
+@pytest.fixture(scope="session")
+def sparse_network():
+    """A 60-neuron uniform sparse network — the unstructured stress case."""
+    return random_sparse_network(60, density=0.08, rng=2)
+
+
+@pytest.fixture(scope="session")
+def small_isc(block_network):
+    """An ISC run on the block network (session-cached: it is deterministic)."""
+    threshold = fullcro_utilization(block_network, 64)
+    return iterative_spectral_clustering(
+        block_network, utilization_threshold=threshold, rng=0
+    )
+
+
+@pytest.fixture(scope="session")
+def small_mapping(small_isc):
+    """The AutoNCS mapping of the cached ISC run."""
+    return autoncs_mapping(small_isc)
+
+
+@pytest.fixture(scope="session")
+def small_fullcro(block_network):
+    """The FullCro mapping of the block network."""
+    return fullcro_mapping(block_network)
+
+
+@pytest.fixture()
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

@@ -1,0 +1,90 @@
+"""Tests for the AutoNCS pipeline driver and reports."""
+
+import numpy as np
+import pytest
+
+from repro.core import AutoNCS
+from repro.core.config import fast_config
+from repro.core.report import ComparisonReport, average_reductions, reduction_percent
+from repro.networks import block_diagonal_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    # Must be well beyond one max-size crossbar (the paper's regime):
+    # FullCro is near-optimal for networks that fit a single 64x64 tile.
+    blocks = block_diagonal_network([32, 30, 28, 26, 24], within_density=0.5,
+                                    between_density=0.015, rng=9)
+    order = np.random.default_rng(9).permutation(blocks.size)
+    return blocks.permuted(order)
+
+
+@pytest.fixture(scope="module")
+def flow():
+    return AutoNCS(fast_config())
+
+
+@pytest.fixture(scope="module")
+def comparison(flow, network):
+    return flow.compare(network, label="unit", rng=3)
+
+
+class TestAutoNcsFlow:
+    def test_run_produces_complete_result(self, flow, network):
+        result = flow.run(network, rng=3)
+        result.mapping.validate()
+        assert result.design.cost.wirelength_um > 0
+        assert result.design.cost.area_um2 > 0
+        assert result.design.cost.average_delay_ns > 0
+
+    def test_summary_fields(self, flow, network):
+        result = flow.run(network, rng=3)
+        summary = result.summary()
+        assert summary["design"] == "AutoNCS"
+        assert "isc_iterations" in summary
+        assert "wirelength_um" in summary
+
+    def test_baseline_all_max_crossbars(self, flow, network):
+        baseline = flow.run_baseline(network, rng=3)
+        histogram = baseline.mapping.crossbar_size_histogram()
+        assert set(histogram) == {flow.library.max_size}
+
+    def test_default_threshold_is_fullcro(self, flow, network):
+        from repro.mapping import fullcro_utilization
+
+        isc = flow.cluster(network, rng=3)
+        expected = fullcro_utilization(network, flow.library.max_size)
+        assert isc.utilization_threshold == pytest.approx(expected)
+
+    def test_compare_improves_on_baseline(self, comparison):
+        # Under the reduced-effort test config the robust paper claims are
+        # delay (smaller crossbars) and area (less wasted silicon); the
+        # wirelength headline needs the full-effort config and the real
+        # testbench sizes — asserted by the Table 1 benchmark instead.
+        assert comparison.delay_reduction > 0
+        assert comparison.area_reduction > 0
+
+
+class TestComparisonReport:
+    def test_reduction_percent(self):
+        assert reduction_percent(50.0, 100.0) == pytest.approx(50.0)
+        assert reduction_percent(100.0, 50.0) == pytest.approx(-100.0)
+        assert reduction_percent(1.0, 0.0) == 0.0
+
+    def test_rows_structure(self, comparison):
+        rows = comparison.rows()
+        assert len(rows) == 3
+        assert rows[0]["design"] == "AutoNCS"
+        assert rows[1]["design"] == "FullCro"
+        assert rows[2]["design"] == "Reduc. (%)"
+
+    def test_format_table_contains_values(self, comparison):
+        text = comparison.format_table()
+        assert "AutoNCS" in text and "FullCro" in text and "%" in text
+
+    def test_average_reductions(self, comparison):
+        averages = average_reductions([comparison, comparison])
+        assert averages["delay"] == pytest.approx(comparison.delay_reduction)
+
+    def test_average_reductions_empty(self):
+        assert average_reductions([]) == {"wirelength": 0.0, "area": 0.0, "delay": 0.0}

@@ -1,0 +1,40 @@
+"""Tests for the pipeline configuration."""
+
+import pytest
+
+from repro.core.config import AutoNcsConfig, fast_config
+from repro.physical.cost import CostWeights
+
+
+class TestAutoNcsConfig:
+    def test_defaults_match_paper(self):
+        config = AutoNcsConfig()
+        assert config.crossbar_sizes == tuple(range(16, 65, 4))
+        assert config.selection_quantile == 0.75
+        assert config.utilization_threshold is None  # -> FullCro baseline
+        assert config.cost_weights == CostWeights(1.0, 1.0, 1.0)
+
+    def test_sizes_sorted_and_validated(self):
+        config = AutoNcsConfig(crossbar_sizes=(64, 16, 32))
+        assert config.crossbar_sizes == (16, 32, 64)
+
+    def test_rejects_empty_sizes(self):
+        with pytest.raises(ValueError):
+            AutoNcsConfig(crossbar_sizes=())
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            AutoNcsConfig(selection_quantile=1.0)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            AutoNcsConfig(utilization_threshold=-0.1)
+
+    def test_rejects_bad_iterations(self):
+        with pytest.raises(ValueError):
+            AutoNcsConfig(max_isc_iterations=0)
+
+    def test_fast_config_reduced_budgets(self):
+        config = fast_config()
+        assert config.max_isc_iterations <= 10
+        assert config.placement.max_lambda_stages <= 5

@@ -1,0 +1,51 @@
+"""Tests for the design-summary datasheet."""
+
+import pytest
+
+from repro.core import AutoNCS, summarize_design
+from repro.core.config import fast_config
+from repro.networks import block_diagonal_network
+
+
+@pytest.fixture(scope="module")
+def design():
+    network = block_diagonal_network([24, 20, 16], within_density=0.5,
+                                     between_density=0.02, rng=3)
+    flow = AutoNCS(fast_config())
+    return flow.run(network, rng=3).design
+
+
+class TestSummarizeDesign:
+    def test_contains_all_sections(self, design):
+        text = summarize_design(design).format()
+        for token in (
+            "design",
+            "crossbars",
+            "wirelength L",
+            "area A",
+            "avg wire delay T",
+            "delay distribution",
+            "read energy",
+            "programming",
+        ):
+            assert token in text
+
+    def test_delay_stats_consistent_with_cost(self, design):
+        summary = summarize_design(design)
+        assert summary.delays.mean_ns == pytest.approx(
+            design.cost.average_delay_ns, rel=1e-9
+        )
+        assert summary.delays.max_ns >= summary.delays.mean_ns
+
+    def test_energy_wirelength_coupled(self, design):
+        summary = summarize_design(design)
+        assert summary.energy.wire_energy_pj > 0.0
+
+    def test_device_accounting(self, design):
+        summary = summarize_design(design)
+        mapping = design.mapping
+        expected_utilized = (
+            sum(i.utilized_connections for i in mapping.instances)
+            + mapping.num_synapses
+        )
+        assert summary.energy.utilized_devices == expected_utilized

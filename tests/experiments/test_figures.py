@@ -1,0 +1,121 @@
+"""Smoke tests for the figure drivers (on small networks for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import fast_config
+from repro.experiments.ablations import (
+    ablate_library_range,
+    ablate_partial_selection,
+    ablate_preference_definition,
+    format_ablation,
+)
+from repro.experiments.figures import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    isc_analysis,
+)
+from repro.networks import block_diagonal_network
+
+
+@pytest.fixture(scope="module")
+def network():
+    blocks = block_diagonal_network([22, 20, 18, 16], within_density=0.55,
+                                    between_density=0.03, rng=11)
+    order = np.random.default_rng(11).permutation(blocks.size)
+    return blocks.permuted(order)
+
+
+class TestFigure3:
+    def test_fields(self, network):
+        result = figure3(network, rng=0, max_size=32)
+        assert result.n == network.size
+        assert result.k == int(np.ceil(network.size / 32))
+        assert 0.0 <= result.outlier_ratio <= 1.0
+        assert sum(result.cluster_sizes) == network.size
+        assert sorted(result.permutation.tolist()) == list(range(network.size))
+
+
+class TestFigure4:
+    def test_both_capped(self, network):
+        result = figure4(network, max_size=24, rng=0)
+        assert result.gcp_max_cluster <= 24
+        assert result.traversing_max_cluster <= 24
+        assert result.gcp_runtime_ms > 0
+        assert result.traversing_runtime_ms > 0
+        assert result.speedup == pytest.approx(
+            result.traversing_runtime_ms / result.gcp_runtime_ms
+        )
+
+
+class TestFigure5:
+    def test_outliers_shrink_between_rounds(self, network):
+        result = figure5(network, max_size=32, rng=0)
+        assert result.round2_outliers <= result.round1_outliers
+        assert result.round1_outlier_ratio <= 1.0
+
+
+class TestFigure6:
+    def test_series_matches_iterations(self, network):
+        result = figure6(network, rng=0)
+        assert len(result.outlier_ratio_series) == result.iterations
+        if result.outlier_ratio_series:
+            assert result.final_outlier_ratio == pytest.approx(
+                result.outlier_ratio_series[-1]
+            )
+
+
+class TestIscAnalysis:
+    def test_panels(self, network):
+        result = isc_analysis(network, label="unit", rng=0)
+        assert result.iterations >= 1
+        assert len(result.outlier_ratio_series) == result.iterations
+        assert len(result.normalized_utilization_series) == result.iterations
+        assert result.fanin_fanout_sum.shape == (network.size,)
+        # panel (d) series are sorted ascending
+        assert np.all(np.diff(result.fanin_fanout_sum) >= -1e-12)
+        assert result.average_sum_vs_baseline > 0
+        assert result.clustered_ratio == pytest.approx(1 - result.final_outlier_ratio)
+
+
+class TestAblations:
+    def test_partial_selection_variants(self, network):
+        points = ablate_partial_selection(network, rng=0)
+        assert len(points) == 3
+        assert all(0 <= p.outlier_ratio <= 1 for p in points)
+
+    def test_preference_variants(self, network):
+        points = ablate_preference_definition(network, rng=0)
+        assert {p.label for p in points} == {
+            "CP = m^2/s^3 (paper)",
+            "CP = u = m/s^2",
+            "CP = m",
+        }
+
+    def test_library_variants(self, network):
+        points = ablate_library_range(network, rng=0)
+        assert len(points) == 3
+
+    def test_format(self, network):
+        points = ablate_partial_selection(network, rng=0)
+        text = format_ablation(points)
+        assert "configuration" in text
+        assert points[0].label in text
+
+
+class TestFigure10Fast:
+    def test_small_custom_run(self, network):
+        # figure10 on a real testbench is benchmark territory; validate the
+        # machinery through the same code path with a tiny config instead.
+        from repro.core.autoncs import AutoNCS
+        from repro.experiments.figures import _snapshot
+
+        flow = AutoNCS(fast_config())
+        design = flow.run_baseline(network, rng=0)
+        snapshot = _snapshot(design, "FullCro")
+        assert snapshot.congestion.ndim == 2
+        assert snapshot.peak_congestion >= 0
+        assert 0 <= snapshot.center_congestion_ratio() < 50
+        assert snapshot.cell_x.shape == snapshot.cell_y.shape

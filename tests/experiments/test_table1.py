@@ -1,0 +1,48 @@
+"""Tests for the Table 1 machinery (fast config, reduced testbenches)."""
+
+import pytest
+
+from repro.core.config import fast_config
+from repro.experiments.table1 import (
+    PAPER_AVERAGE_REDUCTIONS,
+    PAPER_TABLE1,
+    Table1Result,
+    run_table1,
+)
+from repro.experiments.testbenches import Testbench
+
+
+class TestPaperConstants:
+    def test_reference_values_complete(self):
+        assert set(PAPER_TABLE1) == {1, 2, 3}
+        for entry in PAPER_TABLE1.values():
+            assert set(entry) == {"AutoNCS", "FullCro", "reduction"}
+
+    def test_fullcro_delay_constant(self):
+        for entry in PAPER_TABLE1.values():
+            assert entry["FullCro"]["delay_ns"] == 1.95
+
+    def test_average_reductions(self):
+        assert PAPER_AVERAGE_REDUCTIONS["wirelength"] == pytest.approx(47.80)
+
+
+class TestRunTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # a miniature stand-in testbench keeps this a unit test; the real
+        # Table 1 runs in benchmarks/bench_table1.py
+        mini = Testbench(index=7, num_patterns=6, dimension=120, target_sparsity=0.90)
+        return run_table1(testbenches=[mini], config=fast_config(), rng=5)
+
+    def test_one_report_per_testbench(self, result):
+        assert isinstance(result, Table1Result)
+        assert len(result.reports) == 1
+        assert result.reports[0].label.startswith("TB7")
+
+    def test_averages_keys(self, result):
+        assert set(result.averages) == {"wirelength", "area", "delay"}
+
+    def test_format_contains_paper_line(self, result):
+        text = result.format_table()
+        assert "Average reductions (paper)" in text
+        assert "AutoNCS" in text

@@ -1,0 +1,65 @@
+"""Tests for the paper testbench construction."""
+
+import pytest
+
+from repro.experiments.testbenches import (
+    TESTBENCHES,
+    Testbench,
+    build_testbench,
+    build_testbench_network,
+    get_testbench,
+)
+
+
+class TestDescriptors:
+    def test_paper_parameters(self):
+        assert [(tb.num_patterns, tb.dimension) for tb in TESTBENCHES] == [
+            (15, 300),
+            (20, 400),
+            (30, 500),
+        ]
+        assert [tb.target_sparsity for tb in TESTBENCHES] == [0.9447, 0.9359, 0.9439]
+
+    def test_lookup(self):
+        assert get_testbench(2).dimension == 400
+        with pytest.raises(ValueError):
+            get_testbench(4)
+
+    def test_label(self):
+        assert get_testbench(1).label == "TB1 (M=15, N=300)"
+
+
+class TestBuild:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return build_testbench(1, rng=42)
+
+    def test_network_size(self, instance):
+        assert instance.network.size == 300
+
+    def test_exact_sparsity(self, instance):
+        assert instance.network.sparsity == pytest.approx(0.9447, abs=1e-4)
+
+    def test_recognition_above_paper_bar(self, instance):
+        assert instance.recognition_rate(rng=0, trials_per_pattern=2) > 0.9
+
+    def test_network_symmetric(self, instance):
+        assert instance.network.is_symmetric()
+
+    def test_reproducible(self):
+        a = build_testbench(1, rng=7)
+        b = build_testbench(1, rng=7)
+        assert a.network == b.network
+
+    def test_accepts_descriptor(self):
+        descriptor = Testbench(index=9, num_patterns=5, dimension=80,
+                               target_sparsity=0.9)
+        instance = build_testbench(descriptor, rng=0)
+        assert instance.network.size == 80
+
+    def test_build_network_shortcut(self):
+        net = build_testbench_network(
+            Testbench(index=8, num_patterns=4, dimension=60, target_sparsity=0.85),
+            rng=0,
+        )
+        assert net.size == 60

@@ -1,0 +1,56 @@
+"""Tests for the energy / programming model."""
+
+import pytest
+
+from repro.hardware.energy import (
+    DEFAULT_ENERGY,
+    EnergyParameters,
+    evaluate_energy,
+)
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        assert DEFAULT_ENERGY.read_voltage_v < DEFAULT_ENERGY.write_voltage_v
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            EnergyParameters(utilized_on_fraction=0.0)
+
+    def test_rejects_inverted_conductances(self):
+        with pytest.raises(ValueError):
+            EnergyParameters(on_conductance_s=1e-6, off_conductance_s=1e-3)
+
+    def test_rejects_nonpositive_voltage(self):
+        with pytest.raises(ValueError):
+            EnergyParameters(read_voltage_v=0.0)
+
+
+class TestEvaluateEnergy:
+    def test_autoncs_beats_fullcro_on_read_energy(self, small_mapping, small_fullcro):
+        ours = evaluate_energy(small_mapping)
+        baseline = evaluate_energy(small_fullcro)
+        # same utilized devices (same network), far fewer idle ones
+        assert ours.utilized_devices == baseline.utilized_devices
+        assert ours.idle_devices < baseline.idle_devices
+        assert ours.read_energy_pj < baseline.read_energy_pj
+
+    def test_programming_energy_positive(self, small_mapping):
+        report = evaluate_energy(small_mapping)
+        assert report.programming_energy_pj > 0
+        assert report.programming_time_us > 0
+
+    def test_wire_energy_scales_with_wirelength(self, small_mapping):
+        short = evaluate_energy(small_mapping, routed_wirelength_um=100.0)
+        long = evaluate_energy(small_mapping, routed_wirelength_um=1000.0)
+        assert long.wire_energy_pj == pytest.approx(10 * short.wire_energy_pj)
+        assert long.total_read_energy_pj > short.total_read_energy_pj
+
+    def test_rejects_negative_wirelength(self, small_mapping):
+        with pytest.raises(ValueError):
+            evaluate_energy(small_mapping, routed_wirelength_um=-1.0)
+
+    def test_device_accounting(self, small_fullcro):
+        report = evaluate_energy(small_fullcro)
+        provisioned = sum(i.size * i.size for i in small_fullcro.instances)
+        assert report.utilized_devices + report.idle_devices == provisioned

@@ -1,0 +1,134 @@
+"""Tests for cells, wires, netlist building and fanin/fanout accounting."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.library import CrossbarLibrary
+from repro.mapping.netlist import (
+    Cell,
+    CellKind,
+    CrossbarInstance,
+    Netlist,
+    Wire,
+    build_netlist,
+    fanin_fanout_breakdown,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return CrossbarLibrary()
+
+
+class TestCrossbarInstance:
+    def test_utilization(self):
+        inst = CrossbarInstance(rows=(0, 1), cols=(2, 3), size=16,
+                               connections=((0, 2), (1, 3)))
+        assert inst.utilized_connections == 2
+        assert inst.utilization == pytest.approx(2 / 256)
+
+    def test_rejects_too_many_rows(self):
+        with pytest.raises(ValueError, match="exceed"):
+            CrossbarInstance(rows=tuple(range(17)), cols=(0,), size=16, connections=())
+
+    def test_rejects_duplicate_rows(self):
+        with pytest.raises(ValueError, match="unique"):
+            CrossbarInstance(rows=(0, 0), cols=(1,), size=16, connections=())
+
+    def test_rejects_connection_outside(self):
+        with pytest.raises(ValueError, match="outside"):
+            CrossbarInstance(rows=(0,), cols=(1,), size=16, connections=((0, 2),))
+
+    def test_rejects_duplicate_connection(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            CrossbarInstance(rows=(0,), cols=(1,), size=16,
+                             connections=((0, 1), (0, 1)))
+
+
+class TestCellAndWire:
+    def test_cell_area(self):
+        cell = Cell(name="c", kind=CellKind.NEURON, width=2.0, height=3.0)
+        assert cell.area == 6.0
+
+    def test_cell_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            Cell(name="c", kind=CellKind.NEURON, width=0.0, height=1.0)
+
+    def test_wire_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="itself"):
+            Wire(source=1, target=1)
+
+    def test_wire_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            Wire(source=0, target=1, weight=0.0)
+
+    def test_netlist_rejects_dangling_wire(self):
+        cells = [Cell(name="a", kind=CellKind.NEURON, width=1, height=1)]
+        with pytest.raises(ValueError, match="outside"):
+            Netlist(cells=cells, wires=[Wire(source=0, target=5)])
+
+
+class TestBuildNetlist:
+    def test_cell_layout(self, library):
+        inst = CrossbarInstance(rows=(0, 1), cols=(0, 1), size=16,
+                               connections=((0, 1),))
+        netlist = build_netlist(4, [inst], [(2, 3)], library)
+        # 4 neurons + 1 crossbar + 1 synapse
+        assert netlist.num_cells == 6
+        kinds = [c.kind for c in netlist.cells]
+        assert kinds[:4] == [CellKind.NEURON] * 4
+        assert kinds[4] == CellKind.CROSSBAR
+        assert kinds[5] == CellKind.SYNAPSE
+
+    def test_wire_counts(self, library):
+        inst = CrossbarInstance(rows=(0, 1), cols=(0, 1), size=16,
+                               connections=((0, 1),))
+        netlist = build_netlist(4, [inst], [(2, 3)], library)
+        # 2 row wires + 2 col wires + 2 synapse wires
+        assert netlist.num_wires == 6
+
+    def test_wire_weights_scale_with_crossbar_delay(self, library):
+        small = CrossbarInstance(rows=(0,), cols=(0,), size=16, connections=())
+        large = CrossbarInstance(rows=(1,), cols=(1,), size=64, connections=())
+        netlist = build_netlist(2, [small, large], [], library)
+        weights = {w.name: w.weight for w in netlist.wires}
+        assert weights["n1->x1"] > weights["n0->x0"]
+
+    def test_crossbar_cell_dimensions(self, library):
+        inst = CrossbarInstance(rows=(0,), cols=(0,), size=32, connections=())
+        netlist = build_netlist(1, [inst], [], library)
+        crossbar_cell = netlist.cells[1]
+        assert crossbar_cell.width == pytest.approx(library.spec(32).side_um)
+        assert crossbar_cell.intrinsic_delay_ns == pytest.approx(library.spec(32).delay_ns)
+
+    def test_rejects_bad_synapse_endpoint(self, library):
+        with pytest.raises(ValueError, match="outside"):
+            build_netlist(3, [], [(0, 9)], library)
+
+    def test_rejects_zero_neurons(self, library):
+        with pytest.raises(ValueError):
+            build_netlist(0, [], [], library)
+
+    def test_total_cell_area_positive(self, library):
+        netlist = build_netlist(3, [], [(0, 1)], library)
+        assert netlist.total_cell_area > 0
+
+    def test_wire_endpoints_arrays(self, library):
+        netlist = build_netlist(3, [], [(0, 1), (1, 2)], library)
+        sources, targets, weights = netlist.wire_endpoints()
+        assert sources.shape == targets.shape == weights.shape == (4,)
+
+
+class TestFaninFanoutBreakdown:
+    def test_counts(self):
+        inst = CrossbarInstance(rows=(0, 1), cols=(1, 2), size=16,
+                               connections=((0, 1),))
+        breakdown = fanin_fanout_breakdown(4, [inst], [(3, 0)])
+        # neuron 0: 1 crossbar row + 1 synapse = crossbar 1, synapse 1
+        # neuron 1: row + col = 2 crossbar
+        # neuron 2: 1 col
+        # neuron 3: 1 synapse
+        np.testing.assert_array_equal(breakdown.crossbar, [1, 2, 1, 0])
+        np.testing.assert_array_equal(breakdown.synapse, [1, 0, 0, 1])
+        np.testing.assert_array_equal(breakdown.total, [2, 2, 1, 1])
+        assert breakdown.average_total == pytest.approx(1.5)

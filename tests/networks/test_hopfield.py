@@ -1,0 +1,163 @@
+"""Tests for the sparse Hopfield substrate."""
+
+import numpy as np
+import pytest
+
+from repro.networks.hopfield import HopfieldNetwork, recognition_rate
+from repro.networks.patterns import corrupt_pattern, qr_like_patterns
+
+
+@pytest.fixture(scope="module")
+def trained():
+    patterns = qr_like_patterns(5, 120, rng=0)
+    return HopfieldNetwork.train(patterns)
+
+
+class TestTraining:
+    def test_weights_symmetric_zero_diagonal(self, trained):
+        assert np.allclose(trained.weights, trained.weights.T)
+        assert np.all(np.diag(trained.weights) == 0)
+
+    def test_sizes(self, trained):
+        assert trained.size == 120
+        assert trained.num_patterns == 5
+
+    def test_rejects_non_pm1(self):
+        with pytest.raises(ValueError, match="±1"):
+            HopfieldNetwork.train(np.zeros((3, 10)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            HopfieldNetwork.train(np.ones(10))
+
+    def test_constructor_rejects_asymmetric(self):
+        w = np.array([[0.0, 1.0], [0.5, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            HopfieldNetwork(w, np.ones((1, 2)))
+
+    def test_constructor_rejects_nonzero_diagonal(self):
+        w = np.eye(3)
+        with pytest.raises(ValueError, match="diagonal"):
+            HopfieldNetwork(w, np.ones((1, 3)))
+
+    def test_constructor_rejects_pattern_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            HopfieldNetwork(np.zeros((4, 4)), np.ones((2, 5)))
+
+
+class TestSparsify:
+    def test_exact_sparsity(self, trained):
+        sparse = trained.sparsify(0.9)
+        assert sparse.sparsity == pytest.approx(0.9, abs=2 / trained.size**2)
+
+    def test_stays_symmetric(self, trained):
+        sparse = trained.sparsify(0.95)
+        assert np.allclose(sparse.weights, sparse.weights.T)
+
+    def test_keeps_strongest(self, trained):
+        sparse = trained.sparsify(0.9)
+        kept = np.abs(trained.weights[sparse.weights != 0])
+        dropped_mask = (sparse.weights == 0) & (trained.weights != 0)
+        dropped = np.abs(trained.weights[dropped_mask])
+        if kept.size and dropped.size:
+            assert kept.min() >= dropped.max() - 1e-12
+
+    def test_sparsify_zero_keeps_everything(self, trained):
+        full = trained.sparsify(0.0)
+        np.testing.assert_allclose(full.weights, trained.weights)
+
+    def test_rejects_bad_target(self, trained):
+        with pytest.raises(ValueError):
+            trained.sparsify(1.5)
+
+    def test_original_untouched(self, trained):
+        before = trained.weights.copy()
+        trained.sparsify(0.99)
+        np.testing.assert_array_equal(trained.weights, before)
+
+
+class TestRecall:
+    def test_stored_pattern_stable_when_underloaded(self):
+        patterns = qr_like_patterns(2, 100, rng=1)
+        net = HopfieldNetwork.train(patterns)
+        recalled = net.recall(patterns[0])
+        agreement = np.mean(recalled == patterns[0])
+        assert max(agreement, 1 - agreement) > 0.95
+
+    def test_recovers_from_corruption(self):
+        patterns = qr_like_patterns(2, 100, rng=1)
+        net = HopfieldNetwork.train(patterns)
+        probe = corrupt_pattern(patterns[0], 0.1, rng=0)
+        recalled = net.recall(probe)
+        agreement = np.mean(recalled == patterns[0])
+        assert max(agreement, 1 - agreement) > 0.9
+
+    def test_asynchronous_mode(self):
+        patterns = qr_like_patterns(2, 80, rng=2)
+        net = HopfieldNetwork.train(patterns)
+        recalled = net.recall(patterns[1], mode="asynchronous", rng=0)
+        agreement = np.mean(recalled == patterns[1])
+        assert max(agreement, 1 - agreement) > 0.9
+
+    def test_rejects_bad_mode(self, trained):
+        with pytest.raises(ValueError, match="mode"):
+            trained.recall(trained.patterns[0], mode="turbo")
+
+    def test_rejects_bad_probe_shape(self, trained):
+        with pytest.raises(ValueError):
+            trained.recall(np.ones(3))
+
+    def test_energy_decreases_under_recall(self):
+        patterns = qr_like_patterns(3, 80, rng=3)
+        net = HopfieldNetwork.train(patterns)
+        probe = corrupt_pattern(patterns[0], 0.2, rng=0)
+        start = net.energy(probe)
+        end = net.energy(net.recall(probe))
+        assert end <= start + 1e-9
+
+
+class TestStabilize:
+    def test_preserves_topology(self):
+        patterns = qr_like_patterns(8, 150, rng=4)
+        sparse = HopfieldNetwork.train(patterns).sparsify(0.9)
+        stable = sparse.stabilize(max_epochs=10)
+        np.testing.assert_array_equal(stable.weights != 0, sparse.weights != 0)
+
+    def test_improves_or_keeps_stability(self):
+        patterns = qr_like_patterns(10, 150, rng=5)
+        sparse = HopfieldNetwork.train(patterns).sparsify(0.93)
+        before = recognition_rate(sparse, flip_fraction=0.0, trials_per_pattern=1, rng=0)
+        stable = sparse.stabilize()
+        after = recognition_rate(stable, flip_fraction=0.0, trials_per_pattern=1, rng=0)
+        assert after >= before - 1e-9
+
+    def test_stays_symmetric(self):
+        patterns = qr_like_patterns(5, 100, rng=6)
+        stable = HopfieldNetwork.train(patterns).sparsify(0.9).stabilize(max_epochs=5)
+        assert np.allclose(stable.weights, stable.weights.T)
+
+    def test_rejects_bad_epochs(self, trained):
+        with pytest.raises(ValueError):
+            trained.stabilize(max_epochs=0)
+
+
+class TestRecognitionRate:
+    def test_perfect_for_easy_network(self):
+        patterns = qr_like_patterns(2, 120, rng=7)
+        net = HopfieldNetwork.train(patterns)
+        assert recognition_rate(net, flip_fraction=0.05, trials_per_pattern=2, rng=0) == 1.0
+
+    def test_bounds(self):
+        patterns = qr_like_patterns(4, 60, rng=8)
+        net = HopfieldNetwork.train(patterns)
+        rate = recognition_rate(net, trials_per_pattern=1, rng=0)
+        assert 0.0 <= rate <= 1.0
+
+    def test_rejects_zero_trials(self, trained):
+        with pytest.raises(ValueError):
+            recognition_rate(trained, trials_per_pattern=0)
+
+    def test_connection_matrix_binary(self, trained):
+        net = trained.sparsify(0.9).connection_matrix()
+        assert net.size == trained.size
+        assert net.is_symmetric()

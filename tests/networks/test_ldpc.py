@@ -1,0 +1,55 @@
+"""Tests for the LDPC network builder."""
+
+import numpy as np
+import pytest
+
+from repro.networks.ldpc import ldpc_network, regular_parity_check_matrix
+
+
+class TestParityCheckMatrix:
+    def test_shape(self):
+        h = regular_parity_check_matrix(24, 3, 6, rng=0)
+        assert h.shape == (12, 24)
+
+    def test_column_weight(self):
+        h = regular_parity_check_matrix(24, 3, 6, rng=0)
+        np.testing.assert_array_equal(h.sum(axis=0), np.full(24, 3))
+
+    def test_row_weight(self):
+        h = regular_parity_check_matrix(24, 3, 6, rng=0)
+        np.testing.assert_array_equal(h.sum(axis=1), np.full(12, 6))
+
+    def test_binary(self):
+        h = regular_parity_check_matrix(36, 2, 6, rng=1)
+        assert set(np.unique(h)).issubset({0, 1})
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError, match="divide"):
+            regular_parity_check_matrix(25, 3, 6)
+
+    def test_reproducible(self):
+        a = regular_parity_check_matrix(24, 3, 6, rng=3)
+        b = regular_parity_check_matrix(24, 3, 6, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestLdpcNetwork:
+    def test_size_is_vars_plus_checks(self):
+        net = ldpc_network(24, 3, 6, rng=0)
+        assert net.size == 24 + 12
+
+    def test_symmetric_bipartite(self):
+        net = ldpc_network(24, 3, 6, rng=0)
+        assert net.is_symmetric()
+        # no variable-variable or check-check edges
+        assert net.submatrix(range(24)).sum() == 0
+        assert net.submatrix(range(24, 36)).sum() == 0
+
+    def test_high_sparsity(self):
+        net = ldpc_network(120, 3, 6, rng=0)
+        assert net.sparsity > 0.95
+
+    def test_connection_count(self):
+        net = ldpc_network(24, 3, 6, rng=0)
+        # 24 vars x 3 checks each, both directions
+        assert net.num_connections == 24 * 3 * 2

@@ -1,0 +1,97 @@
+"""Tests for the QR-like pattern generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.networks.patterns import corrupt_pattern, qr_like_pattern, qr_like_patterns
+
+
+class TestSinglePattern:
+    def test_shape_and_values(self):
+        p = qr_like_pattern(300, rng=0)
+        assert p.shape == (300,)
+        assert set(np.unique(p)).issubset({-1, 1})
+
+    def test_reproducible(self):
+        np.testing.assert_array_equal(qr_like_pattern(100, rng=5), qr_like_pattern(100, rng=5))
+
+    def test_varies_with_seed(self):
+        assert not np.array_equal(qr_like_pattern(100, rng=1), qr_like_pattern(100, rng=2))
+
+    def test_balanced_fill(self):
+        p = qr_like_pattern(900, rng=0, fill=0.5)
+        assert abs(float(np.mean(p))) < 0.3
+
+    def test_rejects_bad_fill(self):
+        with pytest.raises(ValueError):
+            qr_like_pattern(100, fill=1.0)
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            qr_like_pattern(0)
+
+    def test_rejects_bad_noise(self):
+        with pytest.raises(ValueError):
+            qr_like_pattern(100, module_noise=0.6)
+
+    def test_module_structure_correlates_neighbours(self):
+        # With zero noise, pixels inside a module are identical: adjacent
+        # in-row pixels agree far more often than module size would by chance.
+        p = qr_like_pattern(900, rng=3, module_size=3, module_noise=0.0)
+        grid = p.reshape(30, 30)
+        agreement = np.mean(grid[:, :-1] == grid[:, 1:])
+        assert agreement > 0.6
+
+
+class TestPatternSet:
+    def test_shape(self):
+        ps = qr_like_patterns(5, 200, rng=0)
+        assert ps.shape == (5, 200)
+
+    def test_all_distinct(self):
+        ps = qr_like_patterns(10, 150, rng=0)
+        assert len({p.tobytes() for p in ps}) == 10
+
+    def test_impossible_request_raises(self):
+        # dimension 1 admits only 2 distinct patterns
+        with pytest.raises(RuntimeError):
+            qr_like_patterns(5, 1, rng=0)
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            qr_like_patterns(0, 100)
+
+
+class TestCorruptPattern:
+    def test_exact_flip_count(self):
+        p = qr_like_pattern(200, rng=0)
+        corrupted = corrupt_pattern(p, 0.1, rng=1)
+        assert int(np.sum(corrupted != p)) == 20
+
+    def test_zero_flip_identity(self):
+        p = qr_like_pattern(50, rng=0)
+        np.testing.assert_array_equal(corrupt_pattern(p, 0.0, rng=1), p)
+
+    def test_full_flip_inverts(self):
+        p = qr_like_pattern(50, rng=0)
+        np.testing.assert_array_equal(corrupt_pattern(p, 1.0, rng=1), -p)
+
+    def test_original_untouched(self):
+        p = qr_like_pattern(50, rng=0)
+        copy = p.copy()
+        corrupt_pattern(p, 0.5, rng=1)
+        np.testing.assert_array_equal(p, copy)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            corrupt_pattern(np.ones(10), 1.5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(dimension=st.integers(4, 400), seed=st.integers(0, 10**6))
+def test_property_always_pm_one(dimension, seed):
+    p = qr_like_pattern(dimension, rng=seed)
+    assert p.shape == (dimension,)
+    assert np.all(np.abs(p) == 1)

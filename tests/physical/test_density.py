@@ -1,0 +1,159 @@
+"""Tests for the sigmoid density model and spatial pruning."""
+
+import numpy as np
+import pytest
+
+import repro.physical.placement.density as density_module
+from repro.physical.placement.density import (
+    density_value_and_grad,
+    sigmoid_overlap,
+    true_overlap,
+)
+from repro.physical.placement.spatial import candidate_pairs
+
+
+class TestSigmoidOverlap:
+    def test_overlapping_near_one(self):
+        value = sigmoid_overlap(np.array([0.0]), np.array([10.0]), tau=0.5)
+        assert value[0] > 0.99
+
+    def test_separated_near_zero(self):
+        value = sigmoid_overlap(np.array([100.0]), np.array([10.0]), tau=0.5)
+        assert value[0] < 0.01
+
+    def test_half_at_boundary(self):
+        value = sigmoid_overlap(np.array([10.0]), np.array([10.0]), tau=1.0)
+        assert value[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValueError):
+            sigmoid_overlap(np.array([0.0]), np.array([1.0]), tau=0.0)
+
+
+class TestDensityValue:
+    def test_separated_cells_zero(self):
+        x = np.array([0.0, 100.0])
+        y = np.array([0.0, 100.0])
+        dims = np.array([2.0, 2.0])
+        value, gx, gy = density_value_and_grad(x, y, dims, dims, tau=0.5)
+        assert value < 1e-6
+
+    def test_stacked_cells_high(self):
+        x = np.array([0.0, 0.5])
+        y = np.array([0.0, 0.5])
+        dims = np.array([4.0, 4.0])
+        value, _, _ = density_value_and_grad(x, y, dims, dims, tau=0.5)
+        assert value > 0.9
+
+    def test_single_cell_zero(self):
+        value, _, _ = density_value_and_grad(
+            np.array([0.0]), np.array([0.0]), np.array([1.0]), np.array([1.0]), 1.0
+        )
+        assert value == 0.0
+
+    def test_gradient_pushes_apart(self):
+        x = np.array([0.0, 1.0])
+        y = np.array([0.0, 0.0])
+        dims = np.array([4.0, 4.0])
+        _, gx, _ = density_value_and_grad(x, y, dims, dims, tau=0.5)
+        # descending -grad must separate: cell 0 pushed left, cell 1 right
+        assert gx[0] > 0
+        assert gx[1] < 0
+
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(6) * 10
+        y = rng.random(6) * 10
+        w = rng.uniform(2, 5, 6)
+        h = rng.uniform(2, 5, 6)
+        _, gx, _ = density_value_and_grad(x, y, w, h, tau=1.0)
+        eps = 1e-6
+        for i in range(6):
+            plus = x.copy(); plus[i] += eps
+            minus = x.copy(); minus[i] -= eps
+            vp, _, _ = density_value_and_grad(plus, y, w, h, tau=1.0)
+            vm, _, _ = density_value_and_grad(minus, y, w, h, tau=1.0)
+            assert gx[i] == pytest.approx((vp - vm) / (2 * eps), abs=1e-4)
+
+
+class TestTrueOverlap:
+    def test_known_overlap(self):
+        # two 4x4 cells offset by 2 in x: overlap = 2*4 = 8
+        x = np.array([0.0, 2.0])
+        y = np.array([0.0, 0.0])
+        dims = np.array([4.0, 4.0])
+        assert true_overlap(x, y, dims, dims) == pytest.approx(8.0)
+
+    def test_disjoint_zero(self):
+        x = np.array([0.0, 10.0])
+        y = np.array([0.0, 0.0])
+        dims = np.array([4.0, 4.0])
+        assert true_overlap(x, y, dims, dims) == 0.0
+
+    def test_identical_cells(self):
+        x = np.zeros(2)
+        y = np.zeros(2)
+        dims = np.array([3.0, 3.0])
+        assert true_overlap(x, y, dims, dims) == pytest.approx(9.0)
+
+
+class TestSpatialPruning:
+    def test_candidate_pairs_superset_of_overlaps(self):
+        rng = np.random.default_rng(3)
+        n = 100
+        x = rng.random(n) * 50
+        y = rng.random(n) * 50
+        half = rng.uniform(0.5, 3.0, n)
+        ii, jj = candidate_pairs(x, y, half)
+        found = set(zip(ii.tolist(), jj.tolist()))
+        for i in range(n):
+            for j in range(i + 1, n):
+                interacting = (
+                    abs(x[i] - x[j]) <= half[i] + half[j]
+                    and abs(y[i] - y[j]) <= half[i] + half[j]
+                )
+                if interacting:
+                    assert (i, j) in found
+
+    def test_binned_matches_full_density(self):
+        rng = np.random.default_rng(4)
+        n = 150
+        x = rng.random(n) * 80
+        y = rng.random(n) * 80
+        w = rng.uniform(1, 6, n)
+        h = rng.uniform(1, 6, n)
+        original = density_module.PAIRWISE_LIMIT
+        try:
+            density_module.PAIRWISE_LIMIT = 10**9
+            v_full, gx_full, _ = density_value_and_grad(x, y, w, h, tau=0.8)
+            density_module.PAIRWISE_LIMIT = 1
+            v_bin, gx_bin, _ = density_value_and_grad(x, y, w, h, tau=0.8)
+        finally:
+            density_module.PAIRWISE_LIMIT = original
+        assert v_bin == pytest.approx(v_full, rel=1e-3, abs=1e-6)
+        np.testing.assert_allclose(gx_bin, gx_full, atol=1e-3)
+
+    def test_binned_overlap_exact(self):
+        rng = np.random.default_rng(5)
+        n = 120
+        x = rng.random(n) * 60
+        y = rng.random(n) * 60
+        w = rng.uniform(1, 8, n)
+        h = rng.uniform(1, 8, n)
+        original = density_module.PAIRWISE_LIMIT
+        try:
+            density_module.PAIRWISE_LIMIT = 10**9
+            full = true_overlap(x, y, w, h)
+            density_module.PAIRWISE_LIMIT = 1
+            binned = true_overlap(x, y, w, h)
+        finally:
+            density_module.PAIRWISE_LIMIT = original
+        assert binned == pytest.approx(full)
+
+    def test_empty_input(self):
+        ii, jj = candidate_pairs(np.zeros(0), np.zeros(0), np.zeros(0))
+        assert ii.size == 0 and jj.size == 0
+
+    def test_single_cell(self):
+        ii, jj = candidate_pairs(np.zeros(1), np.zeros(1), np.ones(1))
+        assert ii.size == 0

@@ -1,0 +1,72 @@
+"""Tests for layout containers and congestion-map helpers."""
+
+import numpy as np
+import pytest
+
+from repro.physical.layout import Placement, PhysicalDesign, congestion_map
+
+
+class TestPlacementGeometry:
+    def test_bounding_box(self):
+        placement = Placement(
+            x=np.array([0.0, 10.0]),
+            y=np.array([0.0, 5.0]),
+            widths=np.array([2.0, 4.0]),
+            heights=np.array([2.0, 2.0]),
+        )
+        assert placement.bounding_box() == (-1.0, -1.0, 12.0, 6.0)
+        assert placement.area == pytest.approx(13.0 * 7.0)
+
+    def test_hpwl(self):
+        placement = Placement(
+            x=np.array([0.0, 3.0]),
+            y=np.array([0.0, 4.0]),
+            widths=np.ones(2),
+            heights=np.ones(2),
+        )
+        assert placement.hpwl(np.array([0]), np.array([1])) == pytest.approx(7.0)
+
+    def test_overlap_ratio_scale(self):
+        placement = Placement(
+            x=np.array([0.0, 10.0]),
+            y=np.array([0.0, 0.0]),
+            widths=np.array([4.0, 4.0]),
+            heights=np.array([4.0, 4.0]),
+        )
+        assert placement.overlap_ratio() == 0.0
+        # inflating the cells 4x makes them 16 wide -> they overlap
+        assert placement.overlap_ratio(scale=4.0) > 0.0
+
+
+class TestCongestionMapHelper:
+    def test_combines_usages(self):
+        class FakeRouting:
+            horizontal_usage = np.ones((2, 3))
+            vertical_usage = np.ones((3, 2))
+
+        combined = congestion_map(FakeRouting())
+        assert combined.shape == (3, 3)
+        assert combined[0, 0] == 2.0
+
+    def test_none_without_usage(self):
+        assert congestion_map(object()) is None
+
+
+class TestPhysicalDesign:
+    def test_summary(self):
+        class FakeCost:
+            wirelength_um = 10.0
+            area_um2 = 20.0
+            average_delay_ns = 1.5
+            total = 31.5
+
+        class FakeMapping:
+            name = "X"
+
+        design = PhysicalDesign(
+            mapping=FakeMapping(), placement=None, routing=None, cost=FakeCost()
+        )
+        summary = design.summary()
+        assert summary["design"] == "X"
+        assert summary["wirelength_um"] == 10.0
+        assert summary["cost"] == 31.5

@@ -1,0 +1,94 @@
+"""Tests for placement legalization."""
+
+import numpy as np
+import pytest
+
+from repro.physical.placement.density import true_overlap
+from repro.physical.placement.legalize import legalize, push_apart, row_pack
+
+
+class TestPushApart:
+    def test_separates_two_stacked_cells(self):
+        x = np.array([0.0, 0.1])
+        y = np.array([0.0, 0.0])
+        dims = np.array([4.0, 4.0])
+        nx, ny, ratio = push_apart(x, y, dims, dims, tolerance_ratio=1e-9, rng=0)
+        assert ratio < 1e-6
+        assert true_overlap(nx, ny, dims, dims) < 1e-4
+
+    def test_no_overlap_noop(self):
+        x = np.array([0.0, 100.0])
+        y = np.array([0.0, 0.0])
+        dims = np.array([2.0, 2.0])
+        nx, ny, ratio = push_apart(x, y, dims, dims, rng=0)
+        np.testing.assert_allclose(nx, x)
+        assert ratio == 0.0
+
+    def test_big_cell_moves_less(self):
+        x = np.array([0.0, 1.0])
+        y = np.array([0.0, 0.0])
+        widths = np.array([20.0, 2.0])
+        heights = np.array([20.0, 2.0])
+        nx, _, _ = push_apart(x, y, widths, heights, max_passes=500, rng=0)
+        assert abs(nx[0] - 0.0) < abs(nx[1] - 1.0)
+
+    def test_identical_centers_resolved(self):
+        x = np.zeros(3)
+        y = np.zeros(3)
+        dims = np.ones(3) * 3.0
+        nx, ny, ratio = push_apart(x, y, dims, dims, max_passes=500, rng=0)
+        assert ratio < 0.05
+
+    def test_many_cells_converges(self, rng):
+        n = 60
+        x = rng.random(n) * 10
+        y = rng.random(n) * 10
+        dims = rng.uniform(1.0, 3.0, n)
+        nx, ny, ratio = push_apart(x, y, dims, dims, max_passes=500, rng=0)
+        assert ratio < 0.01
+
+
+class TestRowPack:
+    def test_guaranteed_legal(self, rng):
+        n = 40
+        x = rng.random(n)
+        y = rng.random(n)
+        widths = rng.uniform(1, 10, n)
+        heights = rng.uniform(1, 10, n)
+        nx, ny = row_pack(x, y, widths, heights)
+        assert true_overlap(nx, ny, widths, heights) < 1e-9
+
+    def test_empty(self):
+        nx, ny = row_pack(np.zeros(0), np.zeros(0), np.zeros(0), np.zeros(0))
+        assert nx.size == 0
+
+    def test_rejects_bad_aspect(self):
+        with pytest.raises(ValueError):
+            row_pack(np.zeros(2), np.zeros(2), np.ones(2), np.ones(2), aspect_target=0)
+
+    def test_wide_cell_fits(self):
+        widths = np.array([50.0, 1.0, 1.0])
+        heights = np.ones(3)
+        nx, ny = row_pack(np.zeros(3), np.zeros(3), widths, heights)
+        assert true_overlap(nx, ny, widths, heights) < 1e-9
+
+
+class TestLegalize:
+    def test_returns_info(self, rng):
+        n = 30
+        x = rng.random(n) * 5
+        y = rng.random(n) * 5
+        dims = rng.uniform(1, 2, n)
+        nx, ny, info = legalize(x, y, dims, dims, rng=0)
+        assert info["method"] in ("push_apart", "row_pack")
+        assert info["overlap_ratio"] < 0.01
+
+    def test_falls_back_to_row_pack_when_stuck(self, rng):
+        # pathological: everything at one point with 2 passes only
+        n = 50
+        x = np.zeros(n)
+        y = np.zeros(n)
+        dims = np.ones(n) * 5
+        nx, ny, info = legalize(x, y, dims, dims, max_passes=2, rng=0)
+        assert info["method"] == "row_pack"
+        assert true_overlap(nx, ny, dims, dims) < 1e-9

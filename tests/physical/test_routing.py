@@ -1,0 +1,178 @@
+"""Tests for the routing grid, maze router and routing driver."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.library import CrossbarLibrary
+from repro.mapping.netlist import build_netlist
+from repro.physical.layout import Placement
+from repro.physical.routing.grid import RoutingGrid
+from repro.physical.routing.maze import maze_route
+from repro.physical.routing.router import RoutingConfig, route
+
+
+def make_grid(nx_um=40.0, ny_um=40.0, bin_um=4.0, capacity=2):
+    return RoutingGrid(origin=(0.0, 0.0), width=nx_um, height=ny_um,
+                       bin_um=bin_um, capacity=capacity)
+
+
+class TestRoutingGrid:
+    def test_dimensions(self):
+        grid = make_grid()
+        assert grid.nx == 10 and grid.ny == 10
+        assert grid.horizontal_capacity.shape == (9, 10)
+        assert grid.vertical_capacity.shape == (10, 9)
+
+    def test_bin_of_clamps(self):
+        grid = make_grid()
+        assert grid.bin_of(-5.0, -5.0) == (0, 0)
+        assert grid.bin_of(1000.0, 1000.0) == (9, 9)
+        assert grid.bin_of(6.0, 10.0) == (1, 2)
+
+    def test_bin_center(self):
+        grid = make_grid()
+        assert grid.bin_center((0, 0)) == (2.0, 2.0)
+
+    def test_edge_between(self):
+        grid = make_grid()
+        assert grid.edge_between((0, 0), (1, 0)) == ("h", 0, 0)
+        assert grid.edge_between((3, 4), (3, 3)) == ("v", 3, 3)
+        with pytest.raises(ValueError):
+            grid.edge_between((0, 0), (2, 0))
+
+    def test_usage_bookkeeping(self):
+        grid = make_grid()
+        path = [(0, 0), (1, 0), (1, 1)]
+        grid.add_usage(path)
+        assert grid.edge_usage(("h", 0, 0)) == 1
+        assert grid.edge_usage(("v", 1, 0)) == 1
+        grid.add_usage(path, amount=-1)
+        assert grid.edge_usage(("h", 0, 0)) == 0
+
+    def test_relax_capacity(self):
+        grid = make_grid(capacity=2)
+        grid.relax_capacity(3)
+        assert grid.edge_capacity(("h", 0, 0)) == 5
+        assert grid.base_capacity == 2
+
+    def test_path_length(self):
+        grid = make_grid(bin_um=4.0)
+        assert grid.path_length_um([(0, 0), (1, 0), (2, 0)]) == pytest.approx(8.0)
+
+    def test_congestion_map_shape(self):
+        grid = make_grid()
+        grid.add_usage([(0, 0), (1, 0)])
+        cmap = grid.congestion_map()
+        assert cmap.shape == (10, 10)
+        assert cmap[0, 0] == 1 and cmap[1, 0] == 1
+
+    def test_overflow_count(self):
+        grid = make_grid(capacity=1)
+        grid.add_usage([(0, 0), (1, 0)])
+        grid.add_usage([(0, 0), (1, 0)])
+        assert grid.overflowed_edges() == 1
+        assert grid.max_congestion() == pytest.approx(2.0)
+
+
+class TestMazeRoute:
+    def test_straight_path(self):
+        grid = make_grid()
+        path = maze_route(grid, (0, 0), (5, 0))
+        assert path[0] == (0, 0) and path[-1] == (5, 0)
+        assert len(path) == 6  # monotone straight line
+
+    def test_same_bin(self):
+        grid = make_grid()
+        path = maze_route(grid, (3, 3), (3, 3))
+        assert path == [(3, 3)]
+
+    def test_detours_around_congestion(self):
+        grid = make_grid(capacity=1)
+        # saturate the direct horizontal corridor at y=0
+        for bx in range(9):
+            grid.add_usage([(bx, 0), (bx + 1, 0)])
+        path = maze_route(grid, (0, 0), (9, 0))
+        assert path is not None
+        # must leave row 0 somewhere
+        assert any(b[1] != 0 for b in path)
+
+    def test_blocked_fails_without_overflow(self):
+        grid = RoutingGrid((0, 0), 12.0, 4.0, 4.0, capacity=1)  # 3x1 grid
+        grid.add_usage([(0, 0), (1, 0)])  # saturate the only edge
+        assert maze_route(grid, (0, 0), (2, 0)) is None
+
+    def test_blocked_succeeds_with_overflow(self):
+        grid = RoutingGrid((0, 0), 12.0, 4.0, 4.0, capacity=1)
+        grid.add_usage([(0, 0), (1, 0)])
+        path = maze_route(grid, (0, 0), (2, 0), allow_overflow=True)
+        assert path == [(0, 0), (1, 0), (2, 0)]
+
+    def test_window_fallback_to_full_grid(self):
+        grid = make_grid(capacity=1)
+        # wall of saturated vertical edges around the window
+        for bx in range(0, 7):
+            grid.add_usage([(bx, 4), (bx, 5)])
+        path = maze_route(grid, (2, 2), (2, 7), window_margin=1)
+        assert path is not None
+
+
+class TestRouteDriver:
+    @pytest.fixture()
+    def placed_design(self):
+        library = CrossbarLibrary()
+        netlist = build_netlist(6, [], [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)], library)
+        n = netlist.num_cells
+        rng = np.random.default_rng(0)
+        placement = Placement(
+            x=rng.random(n) * 60,
+            y=rng.random(n) * 60,
+            widths=netlist.widths(),
+            heights=netlist.heights(),
+        )
+        return netlist, placement
+
+    def test_all_wires_routed(self, placed_design):
+        netlist, placement = placed_design
+        result = route(netlist, placement)
+        assert len(result.wires) == netlist.num_wires
+        assert result.total_wirelength_um >= 0.0
+
+    def test_lengths_ordered_by_wire_index(self, placed_design):
+        netlist, placement = placed_design
+        result = route(netlist, placement)
+        assert result.lengths.shape == (netlist.num_wires,)
+
+    def test_congestion_map_available(self, placed_design):
+        netlist, placement = placed_design
+        result = route(netlist, placement)
+        assert result.congestion_map().ndim == 2
+
+    def test_tight_capacity_relaxes(self, placed_design):
+        netlist, placement = placed_design
+        config = RoutingConfig(capacity_per_bin=1, bin_um=30.0, max_relax_rounds=4)
+        result = route(netlist, placement, config=config)
+        assert len(result.wires) == netlist.num_wires
+
+    def test_mismatched_placement_rejected(self, placed_design):
+        netlist, _ = placed_design
+        bad = Placement(x=np.zeros(2), y=np.zeros(2), widths=np.ones(2), heights=np.ones(2))
+        with pytest.raises(ValueError, match="cells"):
+            route(netlist, bad)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RoutingConfig(window_margin_bins=-1)
+        with pytest.raises(ValueError):
+            RoutingConfig(relax_increment=0)
+
+    def test_routed_length_at_least_manhattan_bins(self, placed_design):
+        netlist, placement = placed_design
+        result = route(netlist, placement)
+        grid = result.grid
+        for routed in result.wires:
+            wire = netlist.wires[routed.wire_index]
+            start = grid.bin_of(placement.x[wire.source], placement.y[wire.source])
+            goal = grid.bin_of(placement.x[wire.target], placement.y[wire.target])
+            manhattan = (abs(start[0] - goal[0]) + abs(start[1] - goal[1])) * grid.bin_um
+            if start != goal:
+                assert routed.length_um >= manhattan - 1e-9

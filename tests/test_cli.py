@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.networks import random_sparse_network
+from repro.networks.io import save_network_npz
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.neurons == 160
+        assert args.seed == 42
+
+    def test_testbench_index_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["testbench", "4"])
+
+
+class TestCommands:
+    def test_cluster_on_small_network(self, capsys):
+        code = main(["cluster", "--neurons", "60", "--density", "0.08", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "crossbars:" in out
+        assert "discrete synapses:" in out
+
+    def test_compare_fast(self, capsys):
+        code = main([
+            "compare", "--fast", "--neurons", "70", "--density", "0.08", "--seed", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AutoNCS" in out and "FullCro" in out
+
+    def test_cluster_loads_saved_network(self, tmp_path, capsys):
+        net = random_sparse_network(50, 0.1, rng=3, name="saved")
+        path = tmp_path / "net.npz"
+        save_network_npz(net, path)
+        code = main(["cluster", "--load", str(path), "--seed", "3"])
+        assert code == 0
+        assert "saved" in capsys.readouterr().out
+
+    def test_render(self, tmp_path, capsys):
+        net = random_sparse_network(40, 0.1, rng=4, name="r")
+        src = tmp_path / "net.npz"
+        out = tmp_path / "net.svg"
+        save_network_npz(net, src)
+        code = main(["render", str(src), "--output", str(out)])
+        assert code == 0
+        assert out.read_text().startswith("<?xml")
+
+    def test_render_clustered(self, tmp_path):
+        rng = np.random.default_rng(5)
+        net = random_sparse_network(40, 0.12, rng=rng, name="rc")
+        src = tmp_path / "net.npz"
+        out = tmp_path / "net.svg"
+        save_network_npz(net, src)
+        code = main(["render", str(src), "--output", str(out), "--clustered"])
+        assert code == 0
+        assert "svg" in out.read_text()

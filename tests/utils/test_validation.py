@@ -1,0 +1,113 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_binary_matrix,
+    check_in_range,
+    check_positive,
+    check_probability,
+    check_square,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1.5)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive("x", 0)
+
+    def test_allows_zero_when_requested(self):
+        check_positive("x", 0, allow_zero=True)
+
+    def test_rejects_negative_with_allow_zero(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            check_positive("x", -1, allow_zero=True)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", float("nan"))
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            check_positive("x", float("inf"))
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive("x", True)
+
+    def test_rejects_non_scalar(self):
+        with pytest.raises(TypeError):
+            check_positive("x", [1, 2])
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        check_probability("p", value)
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5.0])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+    def test_rejects_non_scalar(self):
+        with pytest.raises(TypeError):
+            check_probability("p", [0.5])
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        check_in_range("v", 5, 5, 5)
+
+    def test_exclusive_low(self):
+        with pytest.raises(ValueError, match="must be >"):
+            check_in_range("v", 5, 5, 10, low_inclusive=False)
+
+    def test_exclusive_high(self):
+        with pytest.raises(ValueError, match="must be <"):
+            check_in_range("v", 10, 5, 10, high_inclusive=False)
+
+    def test_below_low(self):
+        with pytest.raises(ValueError, match="must be >="):
+            check_in_range("v", 4, 5, None)
+
+    def test_above_high(self):
+        with pytest.raises(ValueError, match="must be <="):
+            check_in_range("v", 11, None, 10)
+
+
+class TestCheckSquare:
+    def test_accepts_square(self):
+        check_square("m", np.zeros((3, 3)))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square("m", np.zeros((3, 4)))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square("m", np.zeros(5))
+
+    def test_rejects_list(self):
+        with pytest.raises(TypeError):
+            check_square("m", [[0, 1], [1, 0]])
+
+
+class TestCheckBinaryMatrix:
+    def test_accepts_binary(self):
+        check_binary_matrix("m", np.array([[0, 1], [1, 0]]))
+
+    def test_accepts_all_zero(self):
+        check_binary_matrix("m", np.zeros((4, 4)))
+
+    def test_rejects_other_values(self):
+        with pytest.raises(ValueError, match="0/1"):
+            check_binary_matrix("m", np.array([[0, 2], [1, 0]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="0/1"):
+            check_binary_matrix("m", np.array([[0, -1], [1, 0]]))
