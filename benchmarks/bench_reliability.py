@@ -1,0 +1,46 @@
+"""Reliability (extension) — Monte-Carlo yield vs defect rate, repair on/off.
+
+Not a paper table: the paper assumes ideal devices, but memristor crossbars
+ship with stuck-at cells and broken nano-wire lines.  This bench maps a
+scaled-down testbench 1, sweeps stuck-off defect rates, and measures the
+functional yield (fraction of sampled chips whose hardware recall still
+recognizes >= 90 % of the stored patterns) before and after the
+fault-aware repair pass of :mod:`repro.reliability`.
+"""
+
+from benchmarks.conftest import bench_seed, write_result
+from repro.experiments.reliability import run_reliability_experiment
+
+# The sparse Hopfield nets tolerate a surprising amount of damage (graceful
+# degradation is the whole point of associative memories), so the sweep has
+# to reach deep into the defect range before raw chips start failing.
+DEFECT_RATES = (0.0, 0.2, 0.3, 0.4)
+
+
+def test_yield_repair_beats_unrepaired(benchmark):
+    def compute():
+        return run_reliability_experiment(
+            testbench=1,
+            dimension=120,
+            defect_rates=DEFECT_RATES,
+            samples=6,
+            spare_instances=2,
+            rng=bench_seed(),
+        )
+
+    result = benchmark.pedantic(compute, rounds=1, iterations=1)
+    write_result("reliability_tb1", result.format())
+
+    points = result.curve.points
+    # a defect-free chip always works, repaired or not
+    assert points[0].functional_yield_unrepaired == 1.0
+    assert points[0].functional_yield_repaired == 1.0
+    # repair never hurts, and recovers real yield at some nonzero rate
+    assert all(
+        p.functional_yield_repaired >= p.functional_yield_unrepaired for p in points
+    )
+    assert any(
+        p.functional_yield_repaired > p.functional_yield_unrepaired
+        for p in points
+        if p.rates.cell_stuck_off > 0
+    )

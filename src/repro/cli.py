@@ -10,6 +10,9 @@ Commands
     recognition rate, optionally save the network.
 ``cluster``
     Run ISC on a network and print the per-iteration statistics.
+``reliability``
+    Monte-Carlo functional yield vs defect rate on a (scaled) testbench,
+    before and after fault-aware repair.
 ``render``
     Render a saved network (and optional clustering) to SVG.
 """
@@ -98,6 +101,21 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    from repro.experiments.reliability import run_reliability_experiment
+
+    result = run_reliability_experiment(
+        testbench=args.testbench,
+        dimension=args.dimension or None,
+        defect_rates=tuple(args.rates),
+        samples=args.samples,
+        spare_instances=args.spares,
+        rng=args.seed,
+    )
+    print(result.format())
+    return 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     network = load_network_npz(args.network)
     clusters = None
@@ -140,6 +158,24 @@ def build_parser() -> argparse.ArgumentParser:
     cluster = sub.add_parser("cluster", help="run ISC and show the iterations")
     _add_network_arguments(cluster)
     cluster.set_defaults(func=_cmd_cluster)
+
+    reliability = sub.add_parser(
+        "reliability", help="Monte-Carlo yield vs defect rate, repair on/off"
+    )
+    reliability.add_argument("--testbench", type=int, default=1, choices=(1, 2, 3),
+                             help="paper testbench index (default 1)")
+    reliability.add_argument("--dimension", type=int, default=100,
+                             help="scaled network size N (default 100; "
+                                  "0 = full paper size)")
+    reliability.add_argument("--rates", type=float, nargs="+",
+                             default=[0.0, 0.2, 0.4],
+                             help="stuck-off cell defect rates to sweep")
+    reliability.add_argument("--samples", type=int, default=5,
+                             help="sampled chips per defect rate (default 5)")
+    reliability.add_argument("--spares", type=int, default=2,
+                             help="spare crossbars for repair (default 2)")
+    reliability.add_argument("--seed", type=int, default=42)
+    reliability.set_defaults(func=_cmd_reliability)
 
     render = sub.add_parser("render", help="render a saved network to SVG")
     render.add_argument("network", help="a .npz network file")

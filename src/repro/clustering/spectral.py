@@ -24,7 +24,7 @@ import numpy as np
 import scipy.linalg
 
 from repro.clustering.kmeans import kmeans
-from repro.clustering.result import Cluster, ClusteringResult, clusters_from_labels
+from repro.clustering.result import ClusteringResult, clusters_from_labels
 from repro.networks.connection_matrix import ConnectionMatrix
 from repro.utils.rng import RngLike, ensure_rng
 

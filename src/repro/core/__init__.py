@@ -7,7 +7,7 @@
   (Table 1 rows).
 """
 
-from repro.core.autoncs import AutoNCS, AutoNcsResult, implement_mapping
+from repro.core.autoncs import AutoNCS, AutoNcsResult, StageError, implement_mapping
 from repro.core.config import AutoNcsConfig
 from repro.core.report import ComparisonReport, reduction_percent
 from repro.core.summary import DesignSummary, summarize_design
@@ -18,6 +18,7 @@ __all__ = [
     "AutoNcsResult",
     "ComparisonReport",
     "DesignSummary",
+    "StageError",
     "implement_mapping",
     "reduction_percent",
     "summarize_design",

@@ -1,4 +1,4 @@
-"""The AutoNCS driver (paper Fig. 2).
+"""The AutoNCS driver (paper Fig. 2), hardened for production use.
 
 ``AutoNCS.run`` executes the complete flow on a network:
 
@@ -8,14 +8,25 @@
    netlist;
 4. eq. (3) evaluates the physical cost.
 
+Every stage is wrapped: an unexpected failure surfaces as a
+:class:`StageError` carrying the stage name and whatever partial results
+exist, the analytical placer falls back to the annealing placer when it
+diverges (non-finite objective or coordinates), routing retries once with
+relaxed capacity, and per-stage wall times plus any fallbacks that fired
+are recorded in ``AutoNcsResult.metadata``.
+
 ``AutoNCS.run_baseline`` runs the same physical flow on the brute-force
-FullCro mapping, and ``AutoNCS.compare`` produces the Table 1 comparison.
+FullCro mapping, and ``AutoNCS.compare`` produces the Table 1 comparison;
+the two flows draw from independent child generators so each is
+reproducible in isolation.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Optional
+
+import numpy as np
 
 from repro.clustering.isc import IscResult, iterative_spectral_clustering
 from repro.core.config import AutoNcsConfig
@@ -26,15 +37,188 @@ from repro.mapping.fullcro import fullcro_mapping, fullcro_utilization
 from repro.mapping.netlist import MappingResult
 from repro.networks.connection_matrix import ConnectionMatrix
 from repro.physical.cost import evaluate_cost
-from repro.physical.layout import PhysicalDesign
+from repro.physical.layout import PhysicalDesign, Placement
+from repro.physical.placement.annealing import AnnealingConfig, anneal_place
 from repro.physical.placement.placer import place
-from repro.physical.routing.router import route
-from repro.utils.rng import RngLike, ensure_rng
+from repro.physical.routing.router import RoutingConfig, route
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+from repro.utils.timers import Timer
+
+
+class StageError(RuntimeError):
+    """A pipeline stage failed.
+
+    Attributes
+    ----------
+    stage:
+        The stage name: ``"isc"``, ``"mapping"``, ``"placement"``,
+        ``"routing"`` or ``"cost"``.
+    partial:
+        Whatever upstream results were already computed when the stage
+        failed (e.g. the ISC result when mapping blows up) — enough to
+        debug the failure without re-running the flow.
+    """
+
+    def __init__(self, stage: str, message: str, partial: Optional[dict] = None) -> None:
+        super().__init__(f"AutoNCS stage '{stage}' failed: {message}")
+        self.stage = stage
+        self.partial = dict(partial) if partial else {}
+
+
+#: Reduced-effort annealing schedule for the placement fallback path: the
+#: fallback must terminate quickly even on designs that broke the
+#: analytical placer.
+FALLBACK_ANNEALING = AnnealingConfig(moves_per_temperature=150, temperatures=25)
+
+
+def _require_connections(network: ConnectionMatrix, stage: str) -> None:
+    """Fail fast on empty/all-zero inputs instead of deep inside scipy."""
+    if not isinstance(network, ConnectionMatrix):
+        raise TypeError(
+            f"stage '{stage}': network must be a ConnectionMatrix, "
+            f"got {type(network).__name__}"
+        )
+    if network.num_connections == 0:
+        raise ValueError(
+            f"stage '{stage}': network {network.name!r} is empty (all-zero "
+            "connection matrix) — there is nothing to cluster or map"
+        )
+
+
+def _fresh_diagnostics() -> dict:
+    return {"stage_seconds": {}, "fallbacks": []}
+
+
+def _placement_divergence(placement: Placement) -> Optional[str]:
+    """Reason string when a placement is unusable, else ``None``."""
+    if not (np.all(np.isfinite(placement.x)) and np.all(np.isfinite(placement.y))):
+        return "non-finite cell coordinates"
+    for stage in placement.metadata.get("stages", []):
+        objective = stage.get("objective", 0.0)
+        if not np.isfinite(objective):
+            return f"non-finite objective at lambda stage {stage.get('stage')}"
+    return None
+
+
+def _place_with_fallback(
+    mapping: MappingResult,
+    config: AutoNcsConfig,
+    rng: np.random.Generator,
+    diagnostics: dict,
+) -> Placement:
+    """Analytical placement, falling back to annealing on divergence."""
+    placement: Optional[Placement] = None
+    reason: Optional[str] = None
+    with Timer() as timer:
+        try:
+            placement = place(
+                mapping.netlist,
+                technology=config.technology,
+                config=config.placement,
+                rng=rng,
+            )
+            reason = _placement_divergence(placement)
+        except Exception as exc:  # noqa: BLE001 - the fallback handles anything
+            reason = f"analytical placer raised {type(exc).__name__}: {exc}"
+    diagnostics["stage_seconds"]["placement"] = timer.elapsed
+    if reason is None:
+        return placement
+    diagnostics["fallbacks"].append(
+        {"stage": "placement", "action": "annealing_placer", "reason": reason}
+    )
+    with Timer() as timer:
+        try:
+            placement = anneal_place(
+                mapping.netlist,
+                technology=config.technology,
+                config=FALLBACK_ANNEALING,
+                rng=rng,
+            )
+        except Exception as exc:
+            raise StageError(
+                "placement",
+                f"analytical placer diverged ({reason}) and the annealing "
+                f"fallback raised {type(exc).__name__}: {exc}",
+                partial={"mapping": mapping},
+            ) from exc
+    diagnostics["stage_seconds"]["placement_fallback"] = timer.elapsed
+    fallback_reason = _placement_divergence(placement)
+    if fallback_reason is not None:
+        raise StageError(
+            "placement",
+            f"annealing fallback also diverged: {fallback_reason}",
+            partial={"mapping": mapping, "placement": placement},
+        )
+    return placement
+
+
+def _relaxed_routing_config(base: RoutingConfig, config: AutoNcsConfig) -> RoutingConfig:
+    """A more permissive routing configuration for the retry pass."""
+    capacity = (
+        base.capacity_per_bin
+        if base.capacity_per_bin is not None
+        else config.technology.routing_capacity_per_bin
+    )
+    return RoutingConfig(
+        bin_um=base.bin_um,
+        capacity_per_bin=max(1, capacity) * 2,
+        window_margin_bins=base.window_margin_bins + 8,
+        congestion_weight=base.congestion_weight,
+        max_relax_rounds=base.max_relax_rounds + 4,
+        relax_increment=base.relax_increment,
+        overflow_penalty=base.overflow_penalty,
+        region_margin_bins=base.region_margin_bins,
+        max_grid_bins=base.max_grid_bins,
+    )
+
+
+def _route_with_retry(
+    mapping: MappingResult,
+    placement: Placement,
+    config: AutoNcsConfig,
+    diagnostics: dict,
+):
+    """Global routing, retried once with relaxed capacity on failure."""
+    base = config.routing if config.routing is not None else RoutingConfig()
+    with Timer() as timer:
+        try:
+            routing = route(
+                mapping.netlist, placement, technology=config.technology, config=base
+            )
+        except Exception as exc:
+            routing = None
+            reason = f"router raised {type(exc).__name__}: {exc}"
+    diagnostics["stage_seconds"]["routing"] = timer.elapsed
+    if routing is not None:
+        return routing
+    diagnostics["fallbacks"].append(
+        {"stage": "routing", "action": "relaxed_capacity_retry", "reason": reason}
+    )
+    relaxed = _relaxed_routing_config(base, config)
+    with Timer() as timer:
+        try:
+            routing = route(
+                mapping.netlist, placement, technology=config.technology, config=relaxed
+            )
+        except Exception as exc:
+            raise StageError(
+                "routing",
+                f"routing failed even with relaxed capacity ({reason}; retry "
+                f"raised {type(exc).__name__}: {exc})",
+                partial={"mapping": mapping, "placement": placement},
+            ) from exc
+    diagnostics["stage_seconds"]["routing_retry"] = timer.elapsed
+    return routing
 
 
 @dataclass
 class AutoNcsResult:
-    """Everything the AutoNCS flow produced for one network."""
+    """Everything the AutoNCS flow produced for one network.
+
+    ``metadata`` carries the hardening diagnostics: ``stage_seconds`` maps
+    each executed stage to its wall time and ``fallbacks`` lists every
+    fallback that fired (placement annealing, routing relaxation).
+    """
 
     isc: IscResult
     mapping: MappingResult
@@ -54,23 +238,48 @@ def implement_mapping(
     mapping: MappingResult,
     config: AutoNcsConfig,
     rng: RngLike = None,
+    diagnostics: Optional[dict] = None,
 ) -> PhysicalDesign:
-    """Run placement, routing and cost evaluation on a mapped design."""
+    """Run placement, routing and cost evaluation on a mapped design.
+
+    ``diagnostics`` (optional) is filled with per-stage wall times and any
+    fallbacks that fired; the same information lands in the returned
+    design's ``metadata["diagnostics"]``.
+    """
     rng = ensure_rng(rng)
-    placement = place(
-        mapping.netlist, technology=config.technology, config=config.placement, rng=rng
+    if diagnostics is None:
+        diagnostics = _fresh_diagnostics()
+    diagnostics.setdefault("stage_seconds", {})
+    diagnostics.setdefault("fallbacks", [])
+    placement = _place_with_fallback(mapping, config, rng, diagnostics)
+    routing = _route_with_retry(mapping, placement, config, diagnostics)
+    with Timer() as timer:
+        try:
+            cost = evaluate_cost(
+                mapping.netlist,
+                placement,
+                routing,
+                technology=config.technology,
+                weights=config.cost_weights,
+            )
+        except Exception as exc:
+            raise StageError(
+                "cost",
+                f"{type(exc).__name__}: {exc}",
+                partial={
+                    "mapping": mapping,
+                    "placement": placement,
+                    "routing": routing,
+                },
+            ) from exc
+    diagnostics["stage_seconds"]["cost"] = timer.elapsed
+    return PhysicalDesign(
+        mapping=mapping,
+        placement=placement,
+        routing=routing,
+        cost=cost,
+        metadata={"diagnostics": diagnostics},
     )
-    routing = route(
-        mapping.netlist, placement, technology=config.technology, config=config.routing
-    )
-    cost = evaluate_cost(
-        mapping.netlist,
-        placement,
-        routing,
-        technology=config.technology,
-        weights=config.cost_weights,
-    )
-    return PhysicalDesign(mapping=mapping, placement=placement, routing=routing, cost=cost)
 
 
 class AutoNCS:
@@ -95,6 +304,7 @@ class AutoNCS:
     # ------------------------------------------------------------------
     def cluster(self, network: ConnectionMatrix, rng: RngLike = None) -> IscResult:
         """Run ISC with the configured library and threshold."""
+        _require_connections(network, stage="isc")
         threshold = self.config.utilization_threshold
         if threshold is None:
             threshold = fullcro_utilization(network, self.library.max_size)
@@ -108,17 +318,45 @@ class AutoNCS:
         )
 
     def run(self, network: ConnectionMatrix, rng: RngLike = None) -> AutoNcsResult:
-        """Execute the full AutoNCS flow on ``network``."""
+        """Execute the full AutoNCS flow on ``network``.
+
+        Raises
+        ------
+        ValueError
+            When the network is empty/all-zero (fails fast, naming the
+            stage, instead of crashing inside the spectral solver).
+        StageError
+            When a stage fails after its fallbacks are exhausted.
+        """
         rng = ensure_rng(rng)
-        isc = self.cluster(network, rng=rng)
-        mapping = autoncs_mapping(isc, library=self.library)
-        design = implement_mapping(mapping, self.config, rng=rng)
-        return AutoNcsResult(isc=isc, mapping=mapping, design=design)
+        _require_connections(network, stage="isc")
+        diagnostics = _fresh_diagnostics()
+        with Timer() as timer:
+            try:
+                isc = self.cluster(network, rng=rng)
+            except Exception as exc:
+                raise StageError("isc", f"{type(exc).__name__}: {exc}") from exc
+        diagnostics["stage_seconds"]["isc"] = timer.elapsed
+        with Timer() as timer:
+            try:
+                mapping = autoncs_mapping(isc, library=self.library)
+            except Exception as exc:
+                raise StageError(
+                    "mapping", f"{type(exc).__name__}: {exc}", partial={"isc": isc}
+                ) from exc
+        diagnostics["stage_seconds"]["mapping"] = timer.elapsed
+        design = implement_mapping(mapping, self.config, rng=rng, diagnostics=diagnostics)
+        return AutoNcsResult(
+            isc=isc, mapping=mapping, design=design, metadata=diagnostics
+        )
 
     def run_baseline(self, network: ConnectionMatrix, rng: RngLike = None) -> PhysicalDesign:
         """Execute the physical flow on the FullCro brute-force mapping."""
         rng = ensure_rng(rng)
-        mapping = fullcro_mapping(network, library=self.library)
+        try:
+            mapping = fullcro_mapping(network, library=self.library)
+        except Exception as exc:
+            raise StageError("mapping", f"{type(exc).__name__}: {exc}") from exc
         return implement_mapping(mapping, self.config, rng=rng)
 
     def compare(
@@ -127,10 +365,16 @@ class AutoNCS:
         label: Optional[str] = None,
         rng: RngLike = None,
     ) -> ComparisonReport:
-        """Run both flows and report the Table 1 comparison."""
-        rng = ensure_rng(rng)
-        result = self.run(network, rng=rng)
-        baseline = self.run_baseline(network, rng=rng)
+        """Run both flows and report the Table 1 comparison.
+
+        Each flow draws from its own child generator (spawned from ``rng``),
+        so the FullCro baseline's placement no longer depends on how many
+        draws the AutoNCS flow happened to consume — either side can be
+        reproduced in isolation from the same parent seed.
+        """
+        autoncs_rng, fullcro_rng = spawn_rng(rng, 2)
+        result = self.run(network, rng=autoncs_rng)
+        baseline = self.run_baseline(network, rng=fullcro_rng)
         return ComparisonReport(
             label=label if label is not None else network.name,
             autoncs=result.design,

@@ -27,6 +27,11 @@ from repro.experiments.figures import (
     figure789,
     isc_analysis,
 )
+from repro.experiments.reliability import (
+    DEFAULT_DEFECT_RATES,
+    ReliabilityResult,
+    run_reliability_experiment,
+)
 from repro.experiments.table1 import (
     PAPER_AVERAGE_REDUCTIONS,
     PAPER_TABLE1,
@@ -40,10 +45,12 @@ from repro.experiments.testbenches import (
     build_testbench,
     build_testbench_network,
     get_testbench,
+    scaled_testbench,
 )
 
 __all__ = [
     "AblationPoint",
+    "DEFAULT_DEFECT_RATES",
     "Figure10Result",
     "Figure3Result",
     "Figure4Result",
@@ -52,6 +59,7 @@ __all__ = [
     "IscAnalysisResult",
     "PAPER_AVERAGE_REDUCTIONS",
     "PAPER_TABLE1",
+    "ReliabilityResult",
     "TESTBENCHES",
     "Table1Result",
     "Testbench",
@@ -70,5 +78,7 @@ __all__ = [
     "format_ablation",
     "get_testbench",
     "isc_analysis",
+    "run_reliability_experiment",
     "run_table1",
+    "scaled_testbench",
 ]

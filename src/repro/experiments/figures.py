@@ -17,7 +17,6 @@ import numpy as np
 from repro.clustering.gcp import greedy_cluster_size_prediction
 from repro.clustering.isc import (
     DEFAULT_CROSSBAR_SIZES,
-    IscResult,
     iterative_spectral_clustering,
 )
 from repro.clustering.spectral import modified_spectral_clustering

@@ -1,0 +1,103 @@
+"""The reliability experiment: yield vs defect rate on a paper testbench.
+
+This is the Monte-Carlo counterpart of the Table 1 cost evaluation: instead
+of asking "how cheap is the mapped design?", it asks "how many manufactured
+chips of it still work, and how much does the fault-aware repair pass
+recover?".  The experiment maps a (scaled) testbench with ISC, sweeps
+defect rates, and evaluates functional yield before and after repair
+through :func:`repro.reliability.evaluate_yield`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.clustering.isc import iterative_spectral_clustering
+from repro.experiments.testbenches import build_testbench, scaled_testbench
+from repro.mapping.autoncs_mapping import autoncs_mapping
+from repro.mapping.fullcro import fullcro_utilization
+from repro.reliability.yield_eval import YieldCurve, evaluate_yield
+from repro.utils.rng import RngLike, spawn_rng
+
+#: Default stuck-off cell-defect sweep (fractions of cells lost per chip).
+#: Sparse Hopfield nets degrade gracefully, so the sweep reaches deep into
+#: the defect range before raw (unrepaired) chips start failing.
+DEFAULT_DEFECT_RATES: Tuple[float, ...] = (0.0, 0.2, 0.4)
+
+
+@dataclass
+class ReliabilityResult:
+    """Outcome of one reliability experiment run."""
+
+    label: str
+    dimension: int
+    num_crossbars: int
+    num_synapses: int
+    curve: YieldCurve
+    metadata: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Printable experiment report."""
+        lines = [
+            f"reliability experiment — {self.label} "
+            f"({self.num_crossbars} crossbars, {self.num_synapses} synapses)",
+            self.curve.format_table(),
+        ]
+        return "\n".join(lines)
+
+
+def run_reliability_experiment(
+    testbench: int = 1,
+    dimension: Optional[int] = None,
+    defect_rates: Sequence[float] = DEFAULT_DEFECT_RATES,
+    samples: int = 6,
+    spare_instances: int = 2,
+    recognition_threshold: float = 0.9,
+    rng: RngLike = None,
+) -> ReliabilityResult:
+    """Map a (scaled) testbench and Monte-Carlo its yield across defect rates.
+
+    Parameters
+    ----------
+    testbench:
+        Paper testbench index (1–3).
+    dimension:
+        Optional smaller network size N (the paper sparsity is kept); the
+        full-size testbenches make the Monte-Carlo loop expensive.
+    samples:
+        Sampled chips (defect maps) per defect rate.
+    spare_instances:
+        Spare physical crossbars available to the repair pass.
+    """
+    build_rng, yield_rng = spawn_rng(rng, 2)
+    bench = scaled_testbench(testbench, dimension)
+    instance = build_testbench(bench, rng=build_rng)
+    network = instance.network
+    threshold = fullcro_utilization(network, 64)
+    isc = iterative_spectral_clustering(
+        network, utilization_threshold=threshold, rng=build_rng
+    )
+    mapping = autoncs_mapping(isc)
+    curve = evaluate_yield(
+        instance.hopfield,
+        mapping,
+        defect_rates=defect_rates,
+        samples=samples,
+        recognition_threshold=recognition_threshold,
+        spare_instances=spare_instances,
+        rng=yield_rng,
+    )
+    return ReliabilityResult(
+        label=bench.label,
+        dimension=bench.dimension,
+        num_crossbars=mapping.num_crossbars,
+        num_synapses=mapping.num_synapses,
+        curve=curve,
+        metadata={
+            "outlier_ratio": isc.outlier_ratio,
+            "utilization_threshold": threshold,
+            "samples": samples,
+            "spare_instances": spare_instances,
+        },
+    )

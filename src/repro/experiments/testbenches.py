@@ -15,7 +15,7 @@ binary connection topology that AutoNCS consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.networks.connection_matrix import ConnectionMatrix
 from repro.networks.hopfield import HopfieldNetwork, recognition_rate
@@ -79,6 +79,29 @@ def get_testbench(index: int) -> Testbench:
         return _BY_INDEX[int(index)]
     except KeyError:
         raise ValueError(f"testbench index must be one of {sorted(_BY_INDEX)}, got {index}") from None
+
+
+def scaled_testbench(index: int, dimension: Optional[int] = None) -> Testbench:
+    """A testbench with the paper's sparsity but a different dimension ``N``.
+
+    The pattern count scales proportionally (at least 2), keeping the
+    storage load per neuron comparable.  Small-N variants keep reliability
+    Monte-Carlo runs and fidelity tests fast while exercising the same
+    topology family as the full-size testbenches.
+    """
+    base = get_testbench(index)
+    if dimension is None or int(dimension) == base.dimension:
+        return base
+    dimension = int(dimension)
+    if dimension < 8:
+        raise ValueError(f"dimension must be >= 8, got {dimension}")
+    patterns = max(2, round(base.num_patterns * dimension / base.dimension))
+    return Testbench(
+        index=base.index,
+        num_patterns=patterns,
+        dimension=dimension,
+        target_sparsity=base.target_sparsity,
+    )
 
 
 def build_testbench(testbench, rng: RngLike = None) -> TestbenchInstance:

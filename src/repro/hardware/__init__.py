@@ -14,7 +14,12 @@ from repro.hardware.energy import EnergyParameters, EnergyReport, evaluate_energ
 from repro.hardware.library import CrossbarLibrary
 from repro.hardware.memristor import Memristor
 from repro.hardware.neuron import IntegrateFireNeuron
-from repro.hardware.simulation import CrossbarSimulator, HybridNcsSimulator
+from repro.hardware.simulation import (
+    IDEAL,
+    CrossbarSimulator,
+    HybridNcsSimulator,
+    NonIdealityModel,
+)
 from repro.hardware.synapse import DiscreteSynapse
 from repro.hardware.technology import Technology
 
@@ -27,7 +32,9 @@ __all__ = [
     "EnergyReport",
     "evaluate_energy",
     "HybridNcsSimulator",
+    "IDEAL",
     "IntegrateFireNeuron",
     "Memristor",
+    "NonIdealityModel",
     "Technology",
 ]

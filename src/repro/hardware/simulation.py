@@ -10,16 +10,19 @@ functionally validated, not just costed:
   input voltages through a conductance matrix, with programming variation,
   stuck-at defects, and a first-order IR-drop attenuation that grows with
   array size and with distance from the drivers.
-* :class:`HybridNcsSimulator` — the full hybrid implementation produced by
-  ISC: every crossbar block plus the discrete-synapse outliers jointly
-  evaluate ``y = W x``, so Hopfield recall can be replayed *on the mapped
-  hardware*.
+* :class:`HybridNcsSimulator` — the full hybrid implementation: every
+  crossbar block plus the discrete-synapse outliers jointly evaluate
+  ``y = W x``, so Hopfield recall can be replayed *on the mapped hardware*.
+  It accepts either an :class:`~repro.clustering.isc.IscResult` or a
+  :class:`~repro.mapping.netlist.MappingResult` (e.g. a repaired mapping
+  from :mod:`repro.reliability`), and an optional structural defect map
+  whose stuck cells / dead lines are applied to the programmed arrays.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,6 +90,8 @@ class CrossbarSimulator:
         r_on: float = 1e3,
         r_off: float = 1e6,
         rng: RngLike = None,
+        stuck_off_mask: Optional[np.ndarray] = None,
+        stuck_on_mask: Optional[np.ndarray] = None,
     ) -> None:
         weights = np.asarray(weights, dtype=float)
         if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
@@ -97,7 +102,7 @@ class CrossbarSimulator:
         self.model = model
         self.size = weights.shape[0]
         programmed = weights.copy()
-        # Defect injection: stuck-off → 0, stuck-on → 1.
+        # Statistical defect injection: stuck-off → 0, stuck-on → 1.
         if model.stuck_off_probability > 0.0 or model.stuck_on_probability > 0.0:
             roll = rng.random(weights.shape)
             programmed[roll < model.stuck_off_probability] = 0.0
@@ -105,6 +110,19 @@ class CrossbarSimulator:
                 (roll >= model.stuck_off_probability)
                 & (roll < model.stuck_off_probability + model.stuck_on_probability)
             ] = 1.0
+        # Structural defects (a sampled DefectMap) override the programming.
+        for name, mask, value in (
+            ("stuck_off_mask", stuck_off_mask, 0.0),
+            ("stuck_on_mask", stuck_on_mask, 1.0),
+        ):
+            if mask is None:
+                continue
+            mask = np.asarray(mask, dtype=bool)
+            if mask.shape != programmed.shape:
+                raise ValueError(
+                    f"{name} must have shape {programmed.shape}, got {mask.shape}"
+                )
+            programmed[mask] = value
         self.conductances = weights_to_conductances(
             programmed,
             r_on=r_on,
@@ -113,6 +131,7 @@ class CrossbarSimulator:
             rng=rng,
         )
         self._g_on = 1.0 / r_on
+        self._g_delta = 1.0 / r_on - 1.0 / r_off
         self._ir_attenuation = self._build_ir_attenuation()
 
     def _build_ir_attenuation(self) -> np.ndarray:
@@ -157,6 +176,33 @@ class CrossbarSimulator:
         return float(np.sqrt(np.mean((actual - reference) ** 2)) / scale)
 
 
+def _normalize_topology(
+    source,
+) -> Tuple[int, List[Tuple[Sequence[int], Sequence[int], int, Sequence[Tuple[int, int]]]], List[Tuple[int, int]]]:
+    """Normalize an IscResult or MappingResult into simulator blocks.
+
+    Returns ``(n_neurons, blocks, synapse_connections)`` where each block is
+    ``(rows, cols, size, connections)``.  ISC clusters have ``rows == cols``
+    (the member neurons); mapping instances may have distinct row/column
+    groups (e.g. FullCro block tiles).
+    """
+    if isinstance(source, IscResult):
+        blocks = [
+            (a.members, a.members, a.size, a.connections) for a in source.crossbars
+        ]
+        return source.network.size, blocks, list(source.outliers)
+    instances = getattr(source, "instances", None)
+    synapses = getattr(source, "synapse_connections", None)
+    network = getattr(source, "network", None)
+    if instances is None or synapses is None or network is None:
+        raise TypeError(
+            "topology must be an IscResult or a MappingResult, "
+            f"got {type(source).__name__}"
+        )
+    blocks = [(x.rows, x.cols, x.size, x.connections) for x in instances]
+    return network.size, blocks, list(synapses)
+
+
 class HybridNcsSimulator:
     """Functional model of a full hybrid implementation (crossbars + synapses).
 
@@ -164,32 +210,48 @@ class HybridNcsSimulator:
     crossbar block and every discrete synapse, each with its own analog
     imperfections.  Signed weights are split into positive and negative
     parts mapped to separate (simulated) crossbar polarities, the standard
-    two-array trick for memristor NCS.
+    two-array trick for memristor NCS; the differential read cancels the
+    ``G_off`` leak exactly, so an ideal model reproduces ``y = W x`` to
+    floating-point precision.
 
     Parameters
     ----------
-    isc_result:
-        The hybrid topology produced by ISC.
+    topology:
+        The hybrid topology: an :class:`~repro.clustering.isc.IscResult` or
+        a :class:`~repro.mapping.netlist.MappingResult`.
     signed_weights:
         Optional real weight matrix (e.g. the Hopfield weights); defaults to
         the binary connection matrix of the topology.
+    defect_map:
+        Optional :class:`~repro.reliability.defects.DefectMap` whose entry
+        ``k`` describes the physical crossbar serving block ``k``: stuck-off
+        cells and dead row/column lines read as weight 0, stuck-on cells
+        saturate the programmed polarity to full conductance.  (Stuck-on
+        faults at cells with no programmed weight are ignored — the model
+        tracks implemented connections, not parasitic ones.)
     """
 
     def __init__(
         self,
-        isc_result: IscResult,
+        topology,
         signed_weights: Optional[np.ndarray] = None,
         model: NonIdealityModel = IDEAL,
+        defect_map=None,
         rng: RngLike = None,
     ) -> None:
-        self.topology = isc_result
-        n = isc_result.network.size
+        self.topology = topology
+        n, blocks, synapse_connections = _normalize_topology(topology)
         if signed_weights is None:
-            signed_weights = isc_result.network.matrix.astype(float)
+            signed_weights = topology.network.matrix.astype(float)
         signed_weights = np.asarray(signed_weights, dtype=float)
         if signed_weights.shape != (n, n):
             raise ValueError(
                 f"signed_weights must have shape ({n}, {n}), got {signed_weights.shape}"
+            )
+        if defect_map is not None and len(defect_map.instances) < len(blocks):
+            raise ValueError(
+                f"defect map covers {len(defect_map.instances)} crossbars, "
+                f"topology has {len(blocks)}"
             )
         self.n = n
         self.model = model
@@ -199,31 +261,61 @@ class HybridNcsSimulator:
         normalized = signed_weights / self._scale
 
         self._blocks = []
-        for assignment in isc_result.crossbars:
-            members = np.asarray(assignment.members, dtype=int)
-            s = assignment.size
+        for index, (rows, cols, s, connections) in enumerate(blocks):
+            rows = np.asarray(rows, dtype=int)
+            cols = np.asarray(cols, dtype=int)
             pos = np.zeros((s, s))
             neg = np.zeros((s, s))
-            index_of = {int(g): local for local, g in enumerate(members)}
-            for gi, gj in assignment.connections:
+            row_of = {int(g): local for local, g in enumerate(rows)}
+            col_of = {int(g): local for local, g in enumerate(cols)}
+            for gi, gj in connections:
                 value = normalized[gi, gj]
                 if value >= 0:
-                    pos[index_of[gi], index_of[gj]] = value
+                    pos[row_of[gi], col_of[gj]] = value
                 else:
-                    neg[index_of[gi], index_of[gj]] = -value
+                    neg[row_of[gi], col_of[gj]] = -value
+            off_mask = on_pos = on_neg = None
+            if defect_map is not None:
+                defects = defect_map.instances[index]
+                if defects.size < s:
+                    raise ValueError(
+                        f"defect-map crossbar {index} has size {defects.size}, "
+                        f"block needs {s}"
+                    )
+                # The block occupies the top-left s×s corner of its physical
+                # crossbar — the same convention reliability.local_cells uses.
+                off_mask = (
+                    defects.stuck_off
+                    | defects.dead_rows[:, None]
+                    | defects.dead_cols[None, :]
+                )[:s, :s]
+                stuck_on = defects.stuck_on[:s, :s] & ~off_mask
+                on_pos = stuck_on & (pos > 0)
+                on_neg = stuck_on & (neg > 0)
             self._blocks.append(
                 (
-                    members,
-                    CrossbarSimulator(pos, model=model, rng=rng),
-                    CrossbarSimulator(neg, model=model, rng=rng),
+                    rows,
+                    cols,
+                    CrossbarSimulator(
+                        pos, model=model, rng=rng,
+                        stuck_off_mask=off_mask, stuck_on_mask=on_pos,
+                    ),
+                    CrossbarSimulator(
+                        neg, model=model, rng=rng,
+                        stuck_off_mask=off_mask, stuck_on_mask=on_neg,
+                    ),
                 )
             )
 
         # Discrete synapses: per-connection weight with programming noise
         # but no IR-drop (point-to-point wiring has no shared line).
-        self._synapse_rows = np.array([i for i, _ in isc_result.outliers], dtype=int)
-        self._synapse_cols = np.array([j for _, j in isc_result.outliers], dtype=int)
-        values = normalized[self._synapse_rows, self._synapse_cols] if isc_result.outliers else np.array([])
+        self._synapse_rows = np.array([i for i, _ in synapse_connections], dtype=int)
+        self._synapse_cols = np.array([j for _, j in synapse_connections], dtype=int)
+        values = (
+            normalized[self._synapse_rows, self._synapse_cols]
+            if synapse_connections
+            else np.array([])
+        )
         if model.variation_sigma > 0.0 and values.size:
             noise = np.exp(rng.normal(0.0, model.variation_sigma, size=values.shape))
             magnitude = np.clip(np.abs(values) * noise, 0.0, 1.0)
@@ -237,13 +329,18 @@ class HybridNcsSimulator:
         if x.shape != (self.n,):
             raise ValueError(f"inputs must have shape ({self.n},), got {x.shape}")
         output = np.zeros(self.n)
-        for members, positive, negative in self._blocks:
+        for rows, cols, positive, negative in self._blocks:
             # A cluster may be smaller than its crossbar: pad the unused
             # rows with zero drive and read back only the used columns.
             local_in = np.zeros(positive.size)
-            local_in[: members.size] = x[members]
-            contribution = positive.compute(local_in) - negative.compute(local_in)
-            output[members] += contribution[: members.size]
+            local_in[: rows.size] = x[rows]
+            # Differential read: (I⁺ - I⁻) / (G_on - G_off) cancels the
+            # G_off leak of both polarities exactly.
+            currents = positive.output_currents(local_in) - negative.output_currents(
+                local_in
+            )
+            contribution = currents / positive._g_delta
+            output[cols] += contribution[: cols.size]
         if self._synapse_values.size:
             np.add.at(
                 output,

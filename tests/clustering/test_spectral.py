@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.clustering.spectral import modified_spectral_clustering, spectral_embedding
-from repro.networks import ConnectionMatrix, block_diagonal_network, random_sparse_network
+from repro.networks import ConnectionMatrix, random_sparse_network
 
 
 class TestSpectralEmbedding:

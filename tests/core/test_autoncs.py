@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import AutoNCS
 from repro.core.config import fast_config
-from repro.core.report import ComparisonReport, average_reductions, reduction_percent
+from repro.core.report import average_reductions, reduction_percent
 from repro.networks import block_diagonal_network
 
 

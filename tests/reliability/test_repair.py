@@ -1,0 +1,109 @@
+"""Tests for the fault-aware repair pass (re-bind, demote, drop)."""
+
+import pytest
+
+from repro.reliability import repair_mapping, sample_defect_map
+from repro.reliability.defects import DefectMap, DefectRates, InstanceDefects
+
+
+def _pristine_pool(mapping, spares=0, spare_size=None):
+    sizes = [instance.size for instance in mapping.instances]
+    if spares:
+        spare_size = spare_size or max(sizes)
+        sizes += [spare_size] * spares
+    return DefectMap(
+        rates=DefectRates(),
+        instances=[InstanceDefects.pristine(s) for s in sizes],
+    )
+
+
+class TestRepairNoDefects:
+    def test_pristine_pool_is_a_no_op(self, small_mapping):
+        defect_map = _pristine_pool(small_mapping)
+        repaired, report = repair_mapping(small_mapping, defect_map)
+        repaired.validate()
+        assert report.connections_lost_before == 0
+        assert report.connections_recovered == 0
+        assert report.synapses_added == 0
+        assert report.clusters_rebound == 0
+        assert repaired.num_crossbars == small_mapping.num_crossbars
+        assert repaired.num_synapses == small_mapping.num_synapses
+        assert report.binding == tuple(range(small_mapping.num_crossbars))
+
+    def test_requires_a_defect_map(self, small_mapping):
+        small_mapping.metadata.pop("defect_map", None)
+        with pytest.raises(ValueError, match="defect map"):
+            repair_mapping(small_mapping)
+
+    def test_pool_must_cover_all_instances(self, small_mapping):
+        defect_map = _pristine_pool(small_mapping)
+        defect_map.instances.pop()
+        with pytest.raises(ValueError, match="covers"):
+            repair_mapping(small_mapping, defect_map)
+
+
+class TestRebinding:
+    def test_dead_instance_rebinds_onto_pristine_spare(self, small_mapping):
+        defect_map = _pristine_pool(small_mapping, spares=1)
+        dead = defect_map.instances[0]
+        dead.dead_rows[:] = True  # instance 0's crossbar is a brick
+        repaired, report = repair_mapping(small_mapping, defect_map)
+        repaired.validate()
+        # every connection survives: the cluster moved to the spare
+        assert report.connections_lost_before > 0
+        assert report.connections_lost_after_rebinding == 0
+        assert report.synapses_added == 0
+        assert report.clusters_rebound >= 1
+        assert report.spares_used == 1
+        assert report.binding[0] == small_mapping.num_crossbars  # the spare slot
+
+    def test_repaired_defect_map_follows_the_binding(self, small_mapping):
+        defect_map = _pristine_pool(small_mapping, spares=1)
+        defect_map.instances[0].dead_rows[:] = True
+        repaired, report = repair_mapping(small_mapping, defect_map)
+        attached = repaired.metadata["defect_map"]
+        binding = repaired.metadata["physical_binding"]
+        assert len(attached.instances) == repaired.num_crossbars
+        for k, p in enumerate(binding):
+            assert attached.instances[k] is defect_map.instances[p]
+
+    def test_sampled_defects_end_to_end(self, small_mapping):
+        defect_map = sample_defect_map(
+            small_mapping, 0.15, rng=5, spare_instances=2
+        )
+        repaired, report = repair_mapping(small_mapping, defect_map)
+        repaired.validate()
+        assert report.connections_lost_after_rebinding <= report.connections_lost_before
+        assert report.synapses_added == report.connections_lost_after_rebinding
+        assert repaired.num_synapses == small_mapping.num_synapses + report.synapses_added
+        assert report.area_after_um2 == repaired.netlist.total_cell_area
+        assert repaired.name.endswith("+repair")
+
+
+class TestDemotion:
+    def test_everything_dead_demotes_all_clusters(self, small_mapping):
+        defect_map = _pristine_pool(small_mapping)
+        for defects in defect_map.instances:
+            defects.dead_rows[:] = True
+        repaired, report = repair_mapping(small_mapping, defect_map)
+        repaired.validate()
+        assert repaired.num_crossbars == 0
+        assert report.clusters_demoted == small_mapping.num_crossbars
+        assert report.synapses_added == sum(
+            len(i.connections) for i in small_mapping.instances
+        )
+        # all network connections now live on discrete synapses
+        assert repaired.num_synapses == small_mapping.network.num_connections
+
+    def test_report_summary_keys(self, small_mapping):
+        defect_map = sample_defect_map(small_mapping, 0.1, rng=9)
+        _, report = repair_mapping(small_mapping, defect_map)
+        summary = report.summary()
+        assert {"lost_before", "recovered", "synapses_added",
+                "clusters_demoted", "area_delta_um2"} <= set(summary)
+        assert summary["recovered"] == report.connections_recovered
+
+    def test_max_passes_validated(self, small_mapping):
+        defect_map = _pristine_pool(small_mapping)
+        with pytest.raises(ValueError, match="max_passes"):
+            repair_mapping(small_mapping, defect_map, max_passes=0)

@@ -1,0 +1,122 @@
+"""Tests for Monte-Carlo yield evaluation (the acceptance criterion lives here)."""
+
+import pytest
+
+from repro.clustering import iterative_spectral_clustering
+from repro.experiments.reliability import run_reliability_experiment
+from repro.experiments.testbenches import build_testbench, scaled_testbench
+from repro.hardware.simulation import HybridNcsSimulator
+from repro.mapping import autoncs_mapping, fullcro_utilization
+from repro.reliability import evaluate_yield, hardware_recognition_rate
+
+
+@pytest.fixture(scope="module")
+def tb1_small():
+    """A scaled-down testbench 1 with its ISC mapping (module-cached)."""
+    bench = scaled_testbench(1, 120)
+    instance = build_testbench(bench, rng=11)
+    threshold = fullcro_utilization(instance.network, 64)
+    isc = iterative_spectral_clustering(
+        instance.network, utilization_threshold=threshold, rng=11
+    )
+    return instance, autoncs_mapping(isc)
+
+
+class TestHardwareRecognitionRate:
+    def test_ideal_hardware_matches_software_recall(self, tb1_small):
+        instance, mapping = tb1_small
+        simulator = HybridNcsSimulator(mapping, signed_weights=instance.hopfield.weights)
+        rate = hardware_recognition_rate(
+            simulator, instance.hopfield.patterns, rng=0
+        )
+        assert rate == pytest.approx(instance.recognition_rate(rng=0), abs=0.15)
+        assert rate >= 0.9  # the paper's testbench bar
+
+    def test_validation(self, tb1_small):
+        instance, mapping = tb1_small
+        simulator = HybridNcsSimulator(mapping, signed_weights=instance.hopfield.weights)
+        with pytest.raises(ValueError):
+            hardware_recognition_rate(simulator, instance.hopfield.patterns,
+                                      trials_per_pattern=0)
+        with pytest.raises(ValueError):
+            hardware_recognition_rate(simulator, instance.hopfield.patterns,
+                                      flip_fraction=1.5)
+
+
+class TestEvaluateYield:
+    def test_repair_strictly_improves_yield(self, tb1_small):
+        # The acceptance criterion: at a nonzero defect rate the repaired
+        # designs achieve strictly higher functional yield than unrepaired.
+        instance, mapping = tb1_small
+        curve = evaluate_yield(
+            instance.hopfield,
+            mapping,
+            defect_rates=(0.0, 0.45),
+            samples=6,
+            spare_instances=2,
+            rng=42,
+        )
+        clean, faulty = curve.points
+        assert clean.functional_yield_unrepaired == 1.0
+        assert clean.functional_yield_repaired == 1.0
+        assert clean.yield_gain == 0.0
+        assert faulty.functional_yield_repaired > faulty.functional_yield_unrepaired
+        assert faulty.yield_gain > 0.0
+        assert faulty.mean_connections_recovered > 0.0
+
+    def test_zero_rate_chip_is_ideal(self, tb1_small):
+        instance, mapping = tb1_small
+        curve = evaluate_yield(
+            instance.hopfield, mapping, defect_rates=(0.0,), samples=2, rng=1
+        )
+        point = curve.points[0]
+        assert point.functional_yield_unrepaired == 1.0
+        assert point.mean_synapses_added == 0.0
+
+    def test_seeded_runs_are_deterministic(self, tb1_small):
+        instance, mapping = tb1_small
+        kwargs = dict(defect_rates=(0.3,), samples=3, spare_instances=1)
+        a = evaluate_yield(instance.hopfield, mapping, rng=5, **kwargs)
+        b = evaluate_yield(instance.hopfield, mapping, rng=5, **kwargs)
+        assert a.points[0] == b.points[0]
+
+    def test_format_table_lists_every_rate(self, tb1_small):
+        instance, mapping = tb1_small
+        curve = evaluate_yield(
+            instance.hopfield, mapping, defect_rates=(0.0, 0.25), samples=2, rng=3
+        )
+        table = curve.format_table()
+        assert "yield(raw)" in table and "yield(rep)" in table
+        assert "0.250" in table
+
+    def test_size_mismatch_rejected(self, tb1_small):
+        instance, mapping = tb1_small
+        other = build_testbench(scaled_testbench(1, 60), rng=0)
+        with pytest.raises(ValueError, match="neurons"):
+            evaluate_yield(other.hopfield, mapping, defect_rates=(0.1,), rng=0)
+
+    def test_empty_rates_rejected(self, tb1_small):
+        instance, mapping = tb1_small
+        with pytest.raises(ValueError, match="defect_rates"):
+            evaluate_yield(instance.hopfield, mapping, defect_rates=(), rng=0)
+
+
+class TestReliabilityExperiment:
+    def test_experiment_wires_the_pieces_together(self):
+        result = run_reliability_experiment(
+            testbench=1,
+            dimension=80,
+            defect_rates=(0.0, 0.3),
+            samples=3,
+            spare_instances=1,
+            rng=4,
+        )
+        assert result.dimension == 80
+        assert result.num_crossbars > 0
+        assert len(result.curve.points) == 2
+        assert "TB1" in result.format()
+        assert result.metadata["spare_instances"] == 1
+
+    def test_bad_dimension_rejected(self):
+        with pytest.raises(ValueError, match="dimension"):
+            run_reliability_experiment(testbench=1, dimension=4, rng=0)

@@ -8,10 +8,13 @@ storage.
 import numpy as np
 import pytest
 
+import repro.core.autoncs as autoncs_module
 from repro.clustering import (
     greedy_cluster_size_prediction,
     iterative_spectral_clustering,
 )
+from repro.core import AutoNCS, StageError
+from repro.core.config import fast_config
 from repro.hardware.simulation import CrossbarSimulator, NonIdealityModel
 from repro.mapping import autoncs_mapping, fullcro_mapping
 from repro.networks import ConnectionMatrix, random_sparse_network
@@ -19,6 +22,7 @@ from repro.networks.hopfield import HopfieldNetwork, recognition_rate
 from repro.networks.patterns import qr_like_patterns
 from repro.physical.layout import Placement
 from repro.physical.routing.router import RoutingConfig, route
+from repro.reliability import repair_mapping, sample_defect_map
 
 
 class TestRoutingUnderStress:
@@ -150,3 +154,36 @@ class TestMappingConsistencyUnderStress:
         assert mapping.num_synapses == 0
         # neurons still exist as cells
         assert mapping.netlist.num_cells == 25
+
+
+class TestRepairWorstCase:
+    def test_every_cell_dead_demotes_every_cluster(self):
+        # 100 % stuck-off cells and no spares: rebinding cannot help, so the
+        # repair pass must demote every cluster to discrete synapses and
+        # still produce a valid (crossbar-free) mapping.
+        net = random_sparse_network(50, 0.1, rng=4)
+        isc = iterative_spectral_clustering(net, utilization_threshold=0.2, rng=4)
+        mapping = autoncs_mapping(isc)
+        assert mapping.num_crossbars > 0
+        defect_map = sample_defect_map(mapping, 1.0, rng=4)
+        repaired, report = repair_mapping(mapping, defect_map)
+        repaired.validate()
+        assert repaired.num_crossbars == 0
+        assert report.clusters_demoted == mapping.num_crossbars
+        assert repaired.num_synapses == net.num_connections
+
+
+class TestPipelineStageFailure:
+    def test_dead_placers_raise_stage_error_naming_placement(self, monkeypatch):
+        # Both the analytical placer and its annealing fallback blow up: the
+        # flow must surface a StageError carrying the failing stage name.
+        def broken(netlist, **kwargs):
+            raise RuntimeError("synthetic placement failure")
+
+        monkeypatch.setattr(autoncs_module, "place", broken)
+        monkeypatch.setattr(autoncs_module, "anneal_place", broken)
+        net = random_sparse_network(40, 0.1, rng=6)
+        with pytest.raises(StageError) as excinfo:
+            AutoNCS(fast_config()).run(net, rng=6)
+        assert excinfo.value.stage == "placement"
+        assert "mapping" in excinfo.value.partial
