@@ -8,7 +8,7 @@ recognizes >= 90 % of the stored patterns) before and after the
 fault-aware repair pass of :mod:`repro.reliability`.
 """
 
-from benchmarks.conftest import bench_seed, write_result
+from benchmarks.conftest import bench_fast, bench_jobs, bench_seed, write_result
 from repro.experiments.reliability import run_reliability_experiment
 
 # The sparse Hopfield nets tolerate a surprising amount of damage (graceful
@@ -18,14 +18,17 @@ DEFECT_RATES = (0.0, 0.2, 0.3, 0.4)
 
 
 def test_yield_repair_beats_unrepaired(benchmark):
+    fast = bench_fast()
+
     def compute():
         return run_reliability_experiment(
             testbench=1,
-            dimension=120,
+            dimension=100 if fast else 120,
             defect_rates=DEFECT_RATES,
-            samples=6,
+            samples=3 if fast else 6,
             spare_instances=2,
             rng=bench_seed(),
+            n_jobs=bench_jobs(),
         )
 
     result = benchmark.pedantic(compute, rounds=1, iterations=1)
@@ -39,8 +42,9 @@ def test_yield_repair_beats_unrepaired(benchmark):
     assert all(
         p.functional_yield_repaired >= p.functional_yield_unrepaired for p in points
     )
-    assert any(
-        p.functional_yield_repaired > p.functional_yield_unrepaired
-        for p in points
-        if p.rates.cell_stuck_off > 0
-    )
+    if not fast:  # with 3 samples the gain can land on an all-pass rate
+        assert any(
+            p.functional_yield_repaired > p.functional_yield_unrepaired
+            for p in points
+            if p.rates.cell_stuck_off > 0
+        )

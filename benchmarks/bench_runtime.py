@@ -1,0 +1,101 @@
+"""Runtime engine — sweep throughput vs worker count, cold vs warm cache.
+
+Not a paper table: this bench characterizes the :mod:`repro.runtime`
+execution engine itself.  One (size × density) compare grid runs
+
+* cold at ``n_jobs`` ∈ {1, 2, 4} (fresh cache each time), and
+* warm once more (same cache as the last cold run),
+
+and the bench asserts the engine's two contracts — bitwise-identical
+results for every worker count, and a 100 %-hit, zero-execution warm
+rerun — while *recording* the measured speedups without asserting them
+(wall-clock ratios depend on the machine's core count; a single-core
+runner legitimately shows ~1×).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_config, bench_fast, bench_seed, write_result
+from repro.runtime import ArtifactCache, EventLog, Runner, SweepSpec
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _spec() -> SweepSpec:
+    if bench_fast():
+        sizes, densities = (40, 56, 72), (0.05,)
+    else:
+        sizes, densities = (80, 120, 160), (0.04, 0.06, 0.08)
+    return SweepSpec(
+        sizes=sizes,
+        densities=densities,
+        seed=bench_seed(),
+        kind="compare",
+        config=bench_config(),
+        name="bench-runtime",
+    )
+
+
+def _reduction_rows(result):
+    return [
+        (
+            row["size"],
+            row["density"],
+            row["wirelength_reduction"],
+            row["area_reduction"],
+            row["delay_reduction"],
+        )
+        for row in result.cell_rows()
+    ]
+
+
+def test_sweep_throughput_and_cache(benchmark, tmp_path):
+    spec = _spec()
+    runs = {}
+    reference_rows = None
+
+    def sweep_all():
+        for n_jobs in WORKER_COUNTS:
+            cache = ArtifactCache(tmp_path / f"cache-j{n_jobs}")
+            events = EventLog()
+            result = Runner(n_jobs=n_jobs, cache=cache, events=events).run_sweep(spec)
+            finished = events.of_kind("sweep_finished")[0]
+            runs[n_jobs] = (result, float(finished["seconds"]))
+        return runs
+
+    benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+
+    # Contract 1: worker count never changes the numbers.
+    for n_jobs, (result, _seconds) in runs.items():
+        rows = _reduction_rows(result)
+        if reference_rows is None:
+            reference_rows = rows
+        assert rows == reference_rows, f"n_jobs={n_jobs} diverged from n_jobs=1"
+        assert result.executed == len(spec)
+        assert result.cache_hits == 0
+
+    # Contract 2: a warm rerun is pure cache — zero executions, all hits.
+    warm_cache = ArtifactCache(tmp_path / f"cache-j{WORKER_COUNTS[-1]}")
+    warm_events = EventLog()
+    warm = Runner(n_jobs=1, cache=warm_cache, events=warm_events).run_sweep(spec)
+    warm_seconds = float(warm_events.of_kind("sweep_finished")[0]["seconds"])
+    assert warm.cache_hits == len(spec)
+    assert warm.executed == 0
+    assert _reduction_rows(warm) == reference_rows
+
+    base_seconds = runs[1][1]
+    lines = [
+        f"sweep grid: {len(spec)} cells "
+        f"(sizes={spec.sizes}, densities={spec.densities}, seed={spec.seed})",
+        f"{'n_jobs':>7} {'seconds':>9} {'speedup':>8}",
+    ]
+    for n_jobs in WORKER_COUNTS:
+        seconds = runs[n_jobs][1]
+        speedup = base_seconds / seconds if seconds > 0 else float("inf")
+        lines.append(f"{n_jobs:>7d} {seconds:>9.2f} {speedup:>7.2f}x")
+    warm_speedup = base_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    lines.append(
+        f"{'warm':>7} {warm_seconds:>9.2f} {warm_speedup:>7.2f}x "
+        f"({warm.cache_hits}/{len(spec)} cache hits, 0 executed)"
+    )
+    write_result("runtime_sweep", "\n".join(lines))

@@ -3,7 +3,11 @@
 The benchmark harness regenerates every table and figure of the paper.
 Heavy artefacts (testbench networks, ISC runs, placed-and-routed designs)
 are computed once per session and shared across benchmark modules, so the
-whole suite stays in the minutes range.
+whole suite stays in the minutes range.  Designs run as
+:mod:`repro.runtime` jobs: both flows of a testbench execute in one
+batch, over ``REPRO_BENCH_JOBS`` worker processes, with the same numbers
+as the historical serial calls (each flow still sees
+``default_rng(REPRO_BENCH_SEED)``).
 
 Results are printed *and* written to ``benchmarks/results/`` so that
 captured pytest output never hides them.
@@ -12,6 +16,13 @@ Environment knobs
 -----------------
 ``REPRO_BENCH_SEED``
     Seed for every benchmark (default 42).
+``REPRO_BENCH_JOBS``
+    Worker processes for runtime-backed benchmarks (default 1).
+``REPRO_BENCH_FAST``
+    Any non-empty value switches to reduced-effort configs and scaled
+    testbenches — a CI smoke mode that checks the benches run end to
+    end, not the paper-scale numbers (scale-dependent shape assertions
+    are relaxed accordingly).
 """
 
 from __future__ import annotations
@@ -23,16 +34,34 @@ from typing import Dict
 import pytest
 
 from repro.clustering import iterative_spectral_clustering
-from repro.core.autoncs import AutoNCS
-from repro.experiments.testbenches import TESTBENCHES, build_testbench
+from repro.core.config import AutoNcsConfig, fast_config
+from repro.experiments.testbenches import TESTBENCHES, build_testbench, scaled_testbench
 from repro.mapping import fullcro_utilization
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Scaled testbench size used by the fast (CI smoke) mode.
+FAST_DIMENSION = 80
 
 
 def bench_seed() -> int:
     """The session seed (REPRO_BENCH_SEED, default 42)."""
     return int(os.environ.get("REPRO_BENCH_SEED", "42"))
+
+
+def bench_jobs() -> int:
+    """Worker processes for runtime-backed benchmarks (REPRO_BENCH_JOBS)."""
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS", "1")))
+
+
+def bench_fast() -> bool:
+    """True in the reduced-effort CI smoke mode (REPRO_BENCH_FAST)."""
+    return bool(os.environ.get("REPRO_BENCH_FAST", ""))
+
+
+def bench_config() -> AutoNcsConfig:
+    """The flow config benches run with (fast in smoke mode)."""
+    return fast_config() if bench_fast() else AutoNcsConfig()
 
 
 def write_result(name: str, text: str) -> None:
@@ -49,15 +78,24 @@ class PipelineCache:
 
     def __init__(self) -> None:
         self.seed = bench_seed()
+        self.n_jobs = bench_jobs()
+        self.fast = bench_fast()
+        self.config = bench_config()
         self._instances: Dict[int, object] = {}
         self._isc: Dict[int, object] = {}
         self._designs: Dict[tuple, object] = {}
-        self.flow = AutoNCS()
+
+    def _testbench(self, index: int):
+        if self.fast:
+            return scaled_testbench(index, FAST_DIMENSION)
+        return index
 
     def instance(self, index: int):
         """The generated testbench (patterns + Hopfield + network)."""
         if index not in self._instances:
-            self._instances[index] = build_testbench(index, rng=self.seed)
+            self._instances[index] = build_testbench(
+                self._testbench(index), rng=self.seed
+            )
         return self._instances[index]
 
     def network(self, index: int):
@@ -75,16 +113,32 @@ class PipelineCache:
         return self._isc[index]
 
     def design(self, index: int, kind: str):
-        """A placed-and-routed design; ``kind`` is 'autoncs' or 'fullcro'."""
+        """A placed-and-routed design; ``kind`` is 'autoncs' or 'fullcro'.
+
+        Both flows of a testbench run in one runtime batch (so with
+        ``REPRO_BENCH_JOBS >= 2`` they execute concurrently); each job is
+        seeded with the session seed, matching the historical
+        ``flow.run(network, rng=seed)`` calls exactly.
+        """
+        if kind not in ("autoncs", "fullcro"):
+            raise ValueError(f"unknown design kind {kind!r}")
         key = (index, kind)
         if key not in self._designs:
+            from repro.runtime import Job, Runner
+
             network = self.network(index)
-            if kind == "autoncs":
-                self._designs[key] = self.flow.run(network, rng=self.seed).design
-            elif kind == "fullcro":
-                self._designs[key] = self.flow.run_baseline(network, rng=self.seed)
-            else:  # pragma: no cover - internal misuse
-                raise ValueError(f"unknown design kind {kind!r}")
+            jobs = [
+                Job(
+                    kind=job_kind,
+                    label=f"tb{index} {job_kind}",
+                    payload={"network": network, "config": self.config},
+                    seed=self.seed,
+                )
+                for job_kind in ("autoncs", "fullcro")
+            ]
+            results = Runner(n_jobs=self.n_jobs).run(jobs)
+            self._designs[(index, "autoncs")] = results[0].value.design
+            self._designs[(index, "fullcro")] = results[1].value
         return self._designs[key]
 
 

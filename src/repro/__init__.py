@@ -13,6 +13,8 @@ covers the whole stack:
 * :mod:`repro.physical` — analytical placement, maze routing, cost;
 * :mod:`repro.core` — the end-to-end :class:`~repro.core.autoncs.AutoNCS`
   pipeline;
+* :mod:`repro.runtime` — parallel, cache-aware execution of sweeps over
+  the flow (process pools, content-addressed artifact cache, events);
 * :mod:`repro.experiments` — every table and figure of the paper.
 
 Quickstart
@@ -27,7 +29,7 @@ Quickstart
 
 from repro.core import AutoNCS, AutoNcsConfig, AutoNcsResult, ComparisonReport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AutoNCS",

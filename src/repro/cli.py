@@ -15,6 +15,9 @@ Commands
     before and after fault-aware repair.
 ``render``
     Render a saved network (and optional clustering) to SVG.
+``sweep``
+    Run a (size × density) grid of flow executions through the parallel,
+    cache-aware :mod:`repro.runtime` engine.
 """
 
 from __future__ import annotations
@@ -51,12 +54,42 @@ def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=42, help="RNG seed (default 42)")
 
 
+def _compare_report(network, config, seed, n_jobs):
+    """AutoNCS-vs-FullCro comparison, optionally over worker processes.
+
+    The parallel path replays the exact child seeds ``AutoNCS.compare``
+    would spawn serially, so its report is identical for any ``n_jobs``.
+    """
+    if n_jobs <= 1:
+        return AutoNCS(config).compare(network, rng=seed)
+    from repro.core.report import ComparisonReport
+    from repro.runtime import Job, Runner
+    from repro.utils.rng import ensure_rng, spawn_seeds
+
+    autoncs_seed, fullcro_seed = spawn_seeds(ensure_rng(seed), 2)
+    payload = {"network": network, "config": config}
+    jobs = [
+        Job(kind="autoncs", label=f"{network.name} autoncs",
+            payload=payload, seed=autoncs_seed),
+        Job(kind="fullcro", label=f"{network.name} fullcro",
+            payload=payload, seed=fullcro_seed),
+    ]
+    results = Runner(n_jobs=n_jobs).run(jobs)
+    result = results[0].value
+    return ComparisonReport(
+        label=network.name,
+        autoncs=result.design,
+        fullcro=results[1].value,
+        metadata={"isc_iterations": result.isc.iterations,
+                  "outlier_ratio": result.isc.outlier_ratio},
+    )
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     network = _load_or_generate(args)
     config: AutoNcsConfig = fast_config() if args.fast else AutoNcsConfig()
-    flow = AutoNCS(config)
     print(f"network: {network}")
-    report = flow.compare(network, rng=args.seed)
+    report = _compare_report(network, config, seed=args.seed, n_jobs=args.jobs)
     print(report.format_table())
     if args.verbose:
         from repro.core.summary import summarize_design
@@ -111,8 +144,42 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
         samples=args.samples,
         spare_instances=args.spares,
         rng=args.seed,
+        n_jobs=args.jobs,
     )
     print(result.format())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.runtime import (
+        ArtifactCache,
+        EventLog,
+        ProgressPrinter,
+        Runner,
+        SweepSpec,
+    )
+
+    config: AutoNcsConfig = fast_config() if args.fast else AutoNcsConfig()
+    cache = None
+    if not args.no_cache:
+        cache = ArtifactCache(args.cache_dir)
+        if args.clear_cache:
+            removed = cache.clear()
+            print(f"cleared {removed} cached artifact(s) from {cache.root}")
+    spec = SweepSpec(
+        sizes=tuple(args.sizes),
+        densities=tuple(args.densities),
+        seed=args.seed,
+        kind=args.kind,
+        config=config,
+    )
+    with EventLog(trace_path=args.trace, printer=ProgressPrinter()) as events:
+        runner = Runner(n_jobs=args.jobs, cache=cache, events=events)
+        result = runner.run_sweep(spec)
+    print()
+    print(result.format_table())
+    if args.trace:
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -145,6 +212,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="reduced-effort physical design (quick preview)")
     compare.add_argument("--verbose", action="store_true",
                          help="print the full per-design datasheets")
+    compare.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the two flows (default 1; "
+                              "results are identical for any value)")
     compare.set_defaults(func=_cmd_compare)
 
     testbench = sub.add_parser("testbench", help="generate a paper testbench")
@@ -175,7 +245,39 @@ def build_parser() -> argparse.ArgumentParser:
     reliability.add_argument("--spares", type=int, default=2,
                              help="spare crossbars for repair (default 2)")
     reliability.add_argument("--seed", type=int, default=42)
+    reliability.add_argument("--jobs", type=int, default=1,
+                             help="worker processes for the Monte-Carlo trials "
+                                  "(default 1; results are identical for any value)")
     reliability.set_defaults(func=_cmd_reliability)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a (size x density) grid through the runtime engine"
+    )
+    sweep.add_argument("--sizes", type=int, nargs="+", default=[80, 120, 160],
+                       help="network sizes to sweep (default 80 120 160)")
+    sweep.add_argument("--densities", type=float, nargs="+",
+                       default=[0.04, 0.06, 0.08],
+                       help="connection densities to sweep "
+                            "(default 0.04 0.06 0.08)")
+    sweep.add_argument("--seed", type=int, default=42,
+                       help="sweep master seed (default 42)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1; results are "
+                            "identical for any value)")
+    sweep.add_argument("--kind", choices=("compare", "autoncs", "fullcro"),
+                       default="compare",
+                       help="flow to run per cell (default compare)")
+    sweep.add_argument("--fast", action="store_true",
+                       help="reduced-effort physical design (quick preview)")
+    sweep.add_argument("--cache-dir", default=".repro-cache",
+                       help="artifact cache directory (default .repro-cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the artifact cache entirely")
+    sweep.add_argument("--clear-cache", action="store_true",
+                       help="empty the cache before running")
+    sweep.add_argument("--trace",
+                       help="write a JSONL event trace to this file")
+    sweep.set_defaults(func=_cmd_sweep)
 
     render = sub.add_parser("render", help="render a saved network to SVG")
     render.add_argument("network", help="a .npz network file")

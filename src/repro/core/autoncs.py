@@ -225,6 +225,11 @@ class AutoNcsResult:
     design: PhysicalDesign
     metadata: dict = field(default_factory=dict)
 
+    @property
+    def stage_seconds(self) -> dict:
+        """Wall time per executed stage (isc, mapping, placement, …)."""
+        return dict(self.metadata.get("stage_seconds", {}))
+
     def summary(self) -> dict:
         """Scalar summary: mapping stats plus physical cost."""
         summary = self.mapping.summary()

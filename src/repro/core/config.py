@@ -57,6 +57,19 @@ class AutoNcsConfig:
         if self.max_isc_iterations < 1:
             raise ValueError("max_isc_iterations must be >= 1")
 
+    def cache_key(self) -> str:
+        """A stable content hash over every knob of this configuration.
+
+        Two configs with equal fields (including nested technology,
+        placement, routing and cost-weight dataclasses) share a key; any
+        differing knob changes it.  Used with
+        :meth:`~repro.networks.connection_matrix.ConnectionMatrix.digest`
+        to address cached flow results in :mod:`repro.runtime.cache`.
+        """
+        from repro.utils.canonical import stable_hash
+
+        return stable_hash(self)
+
 
 def fast_config() -> AutoNcsConfig:
     """A reduced-effort configuration for tests and quick demos."""

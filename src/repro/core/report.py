@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.physical.layout import PhysicalDesign
+from repro.utils.timers import format_stage_seconds
 
 
 def reduction_percent(ours: float, baseline: float) -> float:
@@ -73,8 +74,28 @@ class ComparisonReport:
             },
         ]
 
-    def format_table(self) -> str:
-        """Human-readable Table 1 block for this testbench."""
+    def stage_seconds(self) -> Dict[str, Dict[str, float]]:
+        """Per-flow stage wall times, as recorded by the flow diagnostics.
+
+        Keys are the design names ("AutoNCS", "FullCro"); values map stage
+        names to seconds.  Empty for designs that carry no diagnostics
+        (e.g. hand-built reports in unit tests).
+        """
+        times: Dict[str, Dict[str, float]] = {}
+        for name, design in (("AutoNCS", self.autoncs), ("FullCro", self.fullcro)):
+            diagnostics = design.metadata.get("diagnostics", {})
+            stage_seconds = diagnostics.get("stage_seconds", {})
+            if stage_seconds:
+                times[name] = dict(stage_seconds)
+        return times
+
+    def format_table(self, show_timings: bool = True) -> str:
+        """Human-readable Table 1 block for this testbench.
+
+        With ``show_timings`` (the default), per-stage wall times from
+        the flow diagnostics are appended, so the comparison also shows
+        *where the time went* (ISC, mapping, placement, routing, cost).
+        """
         lines = [
             f"Testbench {self.label}",
             f"{'design':<12}{'wirelength (um)':>18}{'area (um2)':>16}{'delay (ns)':>12}",
@@ -90,6 +111,10 @@ class ComparisonReport:
                     f"{row['design']:<12}{row['wirelength_um']:>18,.1f}"
                     f"{row['area_um2']:>16,.2f}{row['delay_ns']:>12.2f}"
                 )
+        if show_timings:
+            for name, stage_seconds in self.stage_seconds().items():
+                lines.append(f"stage seconds — {name}:")
+                lines.append(format_stage_seconds(stage_seconds))
         return "\n".join(lines)
 
 

@@ -55,8 +55,16 @@ def run_reliability_experiment(
     spare_instances: int = 2,
     recognition_threshold: float = 0.9,
     rng: RngLike = None,
+    n_jobs: int = 1,
+    events=None,
 ) -> ReliabilityResult:
     """Map a (scaled) testbench and Monte-Carlo its yield across defect rates.
+
+    The defect-independent part — building the testbench, clustering it
+    and mapping it onto the crossbar library — runs exactly once; only
+    the Monte-Carlo trials (defect sampling + recall replay) repeat, and
+    with ``n_jobs > 1`` they fan out over worker processes as
+    :mod:`repro.runtime` jobs with bitwise-identical results.
 
     Parameters
     ----------
@@ -69,6 +77,10 @@ def run_reliability_experiment(
         Sampled chips (defect maps) per defect rate.
     spare_instances:
         Spare physical crossbars available to the repair pass.
+    n_jobs:
+        Worker processes for the Monte-Carlo trials.
+    events:
+        Optional :class:`repro.runtime.EventLog` for per-trial events.
     """
     build_rng, yield_rng = spawn_rng(rng, 2)
     bench = scaled_testbench(testbench, dimension)
@@ -87,6 +99,8 @@ def run_reliability_experiment(
         recognition_threshold=recognition_threshold,
         spare_instances=spare_instances,
         rng=yield_rng,
+        n_jobs=n_jobs,
+        events=events,
     )
     return ReliabilityResult(
         label=bench.label,
@@ -99,5 +113,6 @@ def run_reliability_experiment(
             "utilization_threshold": threshold,
             "samples": samples,
             "spare_instances": spare_instances,
+            "n_jobs": n_jobs,
         },
     )

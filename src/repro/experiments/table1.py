@@ -24,11 +24,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.autoncs import AutoNCS
 from repro.core.config import AutoNcsConfig
 from repro.core.report import ComparisonReport, average_reductions
 from repro.experiments.testbenches import TESTBENCHES, Testbench, build_testbench
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, spawn_seeds
 
 #: The paper's Table 1, for side-by-side printing.
 PAPER_TABLE1: Dict[int, Dict[str, Dict[str, float]]] = {
@@ -87,15 +86,83 @@ def run_table1(
     testbenches: Optional[Sequence[Testbench]] = None,
     config: Optional[AutoNcsConfig] = None,
     rng: RngLike = None,
+    n_jobs: int = 1,
+    cache=None,
+    events=None,
 ) -> Table1Result:
-    """Regenerate Table 1 over the given testbenches (default: all three)."""
+    """Regenerate Table 1 over the given testbenches (default: all three).
+
+    The six flow executions (AutoNCS + FullCro per testbench) run as
+    :mod:`repro.runtime` jobs: testbench networks are built serially in
+    this process (they share the driver RNG stream), then each flow gets
+    its own child seed — drawn in exactly the order the historical serial
+    loop consumed them — so the reported numbers are bitwise-identical
+    for every ``n_jobs``, and unchanged from the pre-runtime serial code.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes for the flow executions.
+    cache:
+        Optional :class:`repro.runtime.ArtifactCache`; finished flows are
+        served from disk keyed on (network digest, config, seed, version).
+    events:
+        Optional :class:`repro.runtime.EventLog` for job/trace events.
+    """
+    from repro.runtime import Job, Runner
+
     rng = ensure_rng(rng)
     if testbenches is None:
         testbenches = TESTBENCHES
-    flow = AutoNCS(config)
-    reports = []
+    config = config if config is not None else AutoNcsConfig()
+    config_key = config.cache_key()
+    jobs: List[Job] = []
+    labels: List[str] = []
     for testbench in testbenches:
         instance = build_testbench(testbench, rng=rng)
-        report = flow.compare(instance.network, label=testbench.label, rng=rng)
-        reports.append(report)
-    return Table1Result(reports=reports)
+        # Matches AutoNCS.compare: one child generator per flow, spawned
+        # from the shared driver stream in (autoncs, fullcro) order.
+        autoncs_seed, fullcro_seed = spawn_seeds(rng, 2)
+        network = instance.network
+        common_key = {"network": network.digest(), "config": config_key}
+        labels.append(testbench.label)
+        jobs.append(
+            Job(
+                kind="autoncs",
+                label=f"{testbench.label} autoncs",
+                payload={"network": network, "config": config},
+                seed=autoncs_seed,
+                key=common_key,
+            )
+        )
+        jobs.append(
+            Job(
+                kind="fullcro",
+                label=f"{testbench.label} fullcro",
+                payload={"network": network, "config": config},
+                seed=fullcro_seed,
+                key=common_key,
+            )
+        )
+    runner = Runner(n_jobs=n_jobs, cache=cache, events=events)
+    results = runner.run(jobs)
+    reports = []
+    for index, label in enumerate(labels):
+        autoncs_result = results[2 * index].value
+        fullcro_design = results[2 * index + 1].value
+        reports.append(
+            ComparisonReport(
+                label=label,
+                autoncs=autoncs_result.design,
+                fullcro=fullcro_design,
+                metadata={
+                    "isc_iterations": autoncs_result.isc.iterations,
+                    "outlier_ratio": autoncs_result.isc.outlier_ratio,
+                },
+            )
+        )
+    cache_hits = sum(1 for result in results if result.cache_hit)
+    return Table1Result(
+        reports=reports,
+        metadata={"n_jobs": n_jobs, "cache_hits": cache_hits},
+    )

@@ -21,7 +21,7 @@ functionally validated, not just costed:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -203,6 +203,79 @@ def _normalize_topology(
     return network.size, blocks, list(synapses)
 
 
+@dataclass
+class HybridProgram:
+    """The defect-independent programming of a hybrid topology.
+
+    Assembling a :class:`HybridNcsSimulator` from a mapping walks every
+    block's connection list to build the positive/negative weight planes
+    — pure bookkeeping that depends only on the topology and the signed
+    weights, not on defects or analog imperfections.  A Monte-Carlo loop
+    that simulates many faulty chips of the *same* mapped design can
+    therefore compile this program once and share it across samples
+    (pass it as ``HybridNcsSimulator(..., program=...)``); only the
+    defect masks and stochastic non-idealities are applied per chip.
+
+    The arrays are treated as read-only by the simulator.
+    """
+
+    n: int
+    scale: float
+    #: per block: (global row ids, global col ids, positive plane, negative plane)
+    blocks: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]
+    synapse_rows: np.ndarray
+    synapse_cols: np.ndarray
+    synapse_values: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    @classmethod
+    def compile(cls, topology, signed_weights: Optional[np.ndarray] = None) -> "HybridProgram":
+        """Assemble the weight planes for ``topology`` (no RNG draws)."""
+        n, blocks, synapse_connections = _normalize_topology(topology)
+        if signed_weights is None:
+            signed_weights = topology.network.matrix.astype(float)
+        signed_weights = np.asarray(signed_weights, dtype=float)
+        if signed_weights.shape != (n, n):
+            raise ValueError(
+                f"signed_weights must have shape ({n}, {n}), got {signed_weights.shape}"
+            )
+        scale = float(np.max(np.abs(signed_weights)))
+        scale = scale if scale > 0 else 1.0
+        normalized = signed_weights / scale
+
+        compiled = []
+        for rows, cols, s, connections in blocks:
+            rows = np.asarray(rows, dtype=int)
+            cols = np.asarray(cols, dtype=int)
+            pos = np.zeros((s, s))
+            neg = np.zeros((s, s))
+            row_of = {int(g): local for local, g in enumerate(rows)}
+            col_of = {int(g): local for local, g in enumerate(cols)}
+            for gi, gj in connections:
+                value = normalized[gi, gj]
+                if value >= 0:
+                    pos[row_of[gi], col_of[gj]] = value
+                else:
+                    neg[row_of[gi], col_of[gj]] = -value
+            compiled.append((rows, cols, pos, neg))
+
+        synapse_rows = np.array([i for i, _ in synapse_connections], dtype=int)
+        synapse_cols = np.array([j for _, j in synapse_connections], dtype=int)
+        synapse_values = (
+            normalized[synapse_rows, synapse_cols]
+            if synapse_connections
+            else np.array([])
+        )
+        return cls(
+            n=n,
+            scale=scale,
+            blocks=compiled,
+            synapse_rows=synapse_rows,
+            synapse_cols=synapse_cols,
+            synapse_values=synapse_values,
+        )
+
+
 class HybridNcsSimulator:
     """Functional model of a full hybrid implementation (crossbars + synapses).
 
@@ -229,6 +302,13 @@ class HybridNcsSimulator:
         saturate the programmed polarity to full conductance.  (Stuck-on
         faults at cells with no programmed weight are ignored — the model
         tracks implemented connections, not parasitic ones.)
+    program:
+        Optional precompiled :class:`HybridProgram` of this exact
+        ``(topology, signed_weights)`` pair.  Compiling once and reusing
+        it across many simulator constructions (e.g. Monte-Carlo chips
+        of one mapped design) skips the per-connection assembly; the
+        draws of a stochastic ``model`` still happen per construction,
+        so results are identical with or without a shared program.
     """
 
     def __init__(
@@ -238,42 +318,25 @@ class HybridNcsSimulator:
         model: NonIdealityModel = IDEAL,
         defect_map=None,
         rng: RngLike = None,
+        program: Optional[HybridProgram] = None,
     ) -> None:
         self.topology = topology
-        n, blocks, synapse_connections = _normalize_topology(topology)
-        if signed_weights is None:
-            signed_weights = topology.network.matrix.astype(float)
-        signed_weights = np.asarray(signed_weights, dtype=float)
-        if signed_weights.shape != (n, n):
-            raise ValueError(
-                f"signed_weights must have shape ({n}, {n}), got {signed_weights.shape}"
-            )
-        if defect_map is not None and len(defect_map.instances) < len(blocks):
+        if program is None:
+            program = HybridProgram.compile(topology, signed_weights)
+        if defect_map is not None and len(defect_map.instances) < len(program.blocks):
             raise ValueError(
                 f"defect map covers {len(defect_map.instances)} crossbars, "
-                f"topology has {len(blocks)}"
+                f"topology has {len(program.blocks)}"
             )
-        self.n = n
+        self.n = program.n
         self.model = model
+        self.program = program
         rng = ensure_rng(rng)
-        scale = float(np.max(np.abs(signed_weights)))
-        self._scale = scale if scale > 0 else 1.0
-        normalized = signed_weights / self._scale
+        self._scale = program.scale
 
         self._blocks = []
-        for index, (rows, cols, s, connections) in enumerate(blocks):
-            rows = np.asarray(rows, dtype=int)
-            cols = np.asarray(cols, dtype=int)
-            pos = np.zeros((s, s))
-            neg = np.zeros((s, s))
-            row_of = {int(g): local for local, g in enumerate(rows)}
-            col_of = {int(g): local for local, g in enumerate(cols)}
-            for gi, gj in connections:
-                value = normalized[gi, gj]
-                if value >= 0:
-                    pos[row_of[gi], col_of[gj]] = value
-                else:
-                    neg[row_of[gi], col_of[gj]] = -value
+        for index, (rows, cols, pos, neg) in enumerate(program.blocks):
+            s = pos.shape[0]
             off_mask = on_pos = on_neg = None
             if defect_map is not None:
                 defects = defect_map.instances[index]
@@ -309,13 +372,9 @@ class HybridNcsSimulator:
 
         # Discrete synapses: per-connection weight with programming noise
         # but no IR-drop (point-to-point wiring has no shared line).
-        self._synapse_rows = np.array([i for i, _ in synapse_connections], dtype=int)
-        self._synapse_cols = np.array([j for _, j in synapse_connections], dtype=int)
-        values = (
-            normalized[self._synapse_rows, self._synapse_cols]
-            if synapse_connections
-            else np.array([])
-        )
+        self._synapse_rows = program.synapse_rows
+        self._synapse_cols = program.synapse_cols
+        values = program.synapse_values
         if model.variation_sigma > 0.0 and values.size:
             noise = np.exp(rng.normal(0.0, model.variation_sigma, size=values.shape))
             magnitude = np.clip(np.abs(values) * noise, 0.0, 1.0)

@@ -15,6 +15,7 @@ operations the clustering flow needs:
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
@@ -73,6 +74,19 @@ class ConnectionMatrix:
     def density(self) -> float:
         """``connections / n²`` — the complement of :attr:`sparsity`."""
         return 1.0 - self.sparsity
+
+    def digest(self) -> str:
+        """A stable SHA-256 content hash of the topology.
+
+        Two networks with the same connection matrix share a digest
+        regardless of their :attr:`name`; the digest is stable across
+        processes and sessions, so it can key on-disk caches (see
+        :mod:`repro.runtime.cache`).
+        """
+        h = hashlib.sha256()
+        h.update(f"connection-matrix:{self.size}:".encode("ascii"))
+        h.update(np.ascontiguousarray(self._matrix).tobytes())
+        return h.hexdigest()
 
     def is_symmetric(self) -> bool:
         """True when the topology is undirected (``W == Wᵀ``)."""

@@ -10,16 +10,32 @@ A chip is *functional* when its hardware recognition rate reaches the
 threshold (default 0.9, the paper's testbench bar).  Unrepaired and
 repaired measurements of one sampled chip share the same probe sequence,
 so their comparison is paired, not an artifact of probe luck.
+
+Two execution properties matter at Monte-Carlo scale:
+
+* the defect-independent programming of the mapped design (the
+  per-connection weight-plane assembly) is compiled **once** and shared
+  across every sampled chip — only defect sampling, repair and recall
+  replay run per trial;
+* trials are independent jobs: their RNG streams are derived up front in
+  the driver (in the exact order a serial loop would draw them), so
+  ``n_jobs > 1`` fans the chips out over worker processes through
+  :class:`repro.runtime.Runner` with bitwise-identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.hardware.simulation import IDEAL, HybridNcsSimulator, NonIdealityModel
+from repro.hardware.simulation import (
+    IDEAL,
+    HybridNcsSimulator,
+    HybridProgram,
+    NonIdealityModel,
+)
 from repro.mapping.netlist import MappingResult
 from repro.networks.hopfield import HopfieldNetwork
 from repro.networks.patterns import corrupt_pattern
@@ -107,6 +123,121 @@ class YieldCurve:
         return "\n".join(lines)
 
 
+@dataclass
+class TrialSpec:
+    """One sampled chip: which rate it belongs to and its RNG streams.
+
+    Specs are derived serially in the driver — in the exact order the
+    historical serial loop drew them — so executing the trials in any
+    order, on any number of workers, reproduces the serial results.
+    """
+
+    rate_index: int
+    sample_index: int
+    rates: DefectRates
+    defect_rng: np.random.Generator
+    sim_rng: np.random.Generator
+    probe_seed: int
+
+
+@dataclass
+class TrialOutcome:
+    """What one sampled chip measured."""
+
+    rate_index: int
+    sample_index: int
+    recognition_unrepaired: float
+    recognition_repaired: float
+    connections_recovered: float
+    synapses_added: float
+
+
+def derive_trial_specs(
+    rates_list: Sequence[DefectRates], samples: int, rng: RngLike
+) -> List[TrialSpec]:
+    """Spawn the per-trial RNG streams (serial order, parallel-safe)."""
+    specs: List[TrialSpec] = []
+    rate_rngs = spawn_rng(rng, len(rates_list))
+    for rate_index, (rates, rate_rng) in enumerate(zip(rates_list, rate_rngs)):
+        for sample_index in range(samples):
+            defect_rng, sim_rng = spawn_rng(rate_rng, 2)
+            # One seed drives the probes of both measurements: the
+            # unrepaired/repaired comparison is paired per sampled chip.
+            probe_seed = int(rate_rng.integers(0, 2**63 - 1))
+            specs.append(
+                TrialSpec(
+                    rate_index=rate_index,
+                    sample_index=sample_index,
+                    rates=rates,
+                    defect_rng=defect_rng,
+                    sim_rng=sim_rng,
+                    probe_seed=probe_seed,
+                )
+            )
+    return specs
+
+
+def execute_trial(
+    mapping: MappingResult,
+    hopfield: HopfieldNetwork,
+    spec: TrialSpec,
+    flip_fraction: float = 0.05,
+    trials_per_pattern: int = 1,
+    spare_instances: int = 0,
+    model: NonIdealityModel = IDEAL,
+    program: Optional[HybridProgram] = None,
+) -> TrialOutcome:
+    """Measure one sampled chip: defect map → raw recall → repair → recall.
+
+    ``program`` is the precompiled defect-independent programming of
+    ``mapping`` (compiled on the fly when omitted, e.g. in a worker
+    process that received only the mapping).
+    """
+    if program is None:
+        program = HybridProgram.compile(mapping, hopfield.weights)
+    defect_map = sample_defect_map(
+        mapping, spec.rates, rng=spec.defect_rng, spare_instances=spare_instances
+    )
+    raw_sim = HybridNcsSimulator(
+        mapping,
+        signed_weights=hopfield.weights,
+        model=model,
+        defect_map=defect_map,
+        rng=spec.sim_rng,
+        program=program,
+    )
+    rate_raw = hardware_recognition_rate(
+        raw_sim,
+        hopfield.patterns,
+        flip_fraction=flip_fraction,
+        trials_per_pattern=trials_per_pattern,
+        rng=spec.probe_seed,
+    )
+    repaired, report = repair_mapping(mapping, defect_map)
+    rep_sim = HybridNcsSimulator(
+        repaired,
+        signed_weights=hopfield.weights,
+        model=model,
+        defect_map=repaired.metadata["defect_map"],
+        rng=spec.sim_rng,
+    )
+    rate_rep = hardware_recognition_rate(
+        rep_sim,
+        hopfield.patterns,
+        flip_fraction=flip_fraction,
+        trials_per_pattern=trials_per_pattern,
+        rng=spec.probe_seed,
+    )
+    return TrialOutcome(
+        rate_index=spec.rate_index,
+        sample_index=spec.sample_index,
+        recognition_unrepaired=rate_raw,
+        recognition_repaired=rate_rep,
+        connections_recovered=float(report.connections_recovered),
+        synapses_added=float(report.synapses_added),
+    )
+
+
 def evaluate_yield(
     hopfield: HopfieldNetwork,
     mapping: MappingResult,
@@ -118,6 +249,8 @@ def evaluate_yield(
     spare_instances: int = 0,
     model: NonIdealityModel = IDEAL,
     rng: RngLike = None,
+    n_jobs: int = 1,
+    events=None,
 ) -> YieldCurve:
     """Monte-Carlo yield of ``mapping`` under defects, before/after repair.
 
@@ -135,6 +268,13 @@ def evaluate_yield(
         Spare physical crossbars the repair pass may re-bind clusters onto.
     model:
         Additional statistical non-idealities layered on every sample.
+    n_jobs:
+        Worker processes for the Monte-Carlo trials; results are
+        bitwise-identical for any value (per-trial RNG streams are
+        derived up front).
+    events:
+        Optional :class:`repro.runtime.EventLog` receiving per-trial
+        job events.
     """
     if hopfield.size != mapping.network.size:
         raise ValueError(
@@ -147,68 +287,65 @@ def evaluate_yield(
     rates_list = [DefectRates.coerce(r) for r in defect_rates]
     if not rates_list:
         raise ValueError("defect_rates must be non-empty")
-    rate_rngs = spawn_rng(rng, len(rates_list))
+
+    specs = derive_trial_specs(rates_list, samples, rng)
+    trial_kwargs = dict(
+        flip_fraction=flip_fraction,
+        trials_per_pattern=trials_per_pattern,
+        spare_instances=spare_instances,
+        model=model,
+    )
+    if n_jobs == 1:
+        # The defect-independent programming of the mapped design is
+        # compiled once and shared by every chip (the hoist that makes
+        # the Monte-Carlo loop ~O(trials) in recall work, not assembly).
+        program = HybridProgram.compile(mapping, hopfield.weights)
+        outcomes = [
+            execute_trial(mapping, hopfield, spec, program=program, **trial_kwargs)
+            for spec in specs
+        ]
+    else:
+        # Imported lazily: repro.runtime.runner registers the
+        # "yield_trial" executor, which calls back into execute_trial.
+        from repro.runtime import Job, Runner
+
+        jobs = [
+            Job(
+                kind="yield_trial",
+                label=f"rate={spec.rates.cell_stuck_off:g} chip={spec.sample_index}",
+                payload={
+                    "mapping": mapping,
+                    "hopfield": hopfield,
+                    "spec": spec,
+                    **trial_kwargs,
+                },
+            )
+            for spec in specs
+        ]
+        runner = Runner(n_jobs=n_jobs, events=events)
+        outcomes = [result.value for result in runner.run(jobs)]
 
     points: List[YieldPoint] = []
-    for rates, rate_rng in zip(rates_list, rate_rngs):
-        functional_raw = functional_rep = 0
-        recog_raw: List[float] = []
-        recog_rep: List[float] = []
-        recovered: List[float] = []
-        added: List[float] = []
-        for _ in range(samples):
-            defect_rng, sim_rng = spawn_rng(rate_rng, 2)
-            # One seed drives the probes of both measurements: the
-            # unrepaired/repaired comparison is paired per sampled chip.
-            probe_seed = int(rate_rng.integers(0, 2**63 - 1))
-            defect_map = sample_defect_map(
-                mapping, rates, rng=defect_rng, spare_instances=spare_instances
-            )
-            raw_sim = HybridNcsSimulator(
-                mapping,
-                signed_weights=hopfield.weights,
-                model=model,
-                defect_map=defect_map,
-                rng=sim_rng,
-            )
-            rate_raw = hardware_recognition_rate(
-                raw_sim,
-                hopfield.patterns,
-                flip_fraction=flip_fraction,
-                trials_per_pattern=trials_per_pattern,
-                rng=probe_seed,
-            )
-            repaired, report = repair_mapping(mapping, defect_map)
-            rep_sim = HybridNcsSimulator(
-                repaired,
-                signed_weights=hopfield.weights,
-                model=model,
-                defect_map=repaired.metadata["defect_map"],
-                rng=sim_rng,
-            )
-            rate_rep = hardware_recognition_rate(
-                rep_sim,
-                hopfield.patterns,
-                flip_fraction=flip_fraction,
-                trials_per_pattern=trials_per_pattern,
-                rng=probe_seed,
-            )
-            functional_raw += rate_raw >= recognition_threshold
-            functional_rep += rate_rep >= recognition_threshold
-            recog_raw.append(rate_raw)
-            recog_rep.append(rate_rep)
-            recovered.append(report.connections_recovered)
-            added.append(report.synapses_added)
+    for rate_index, rates in enumerate(rates_list):
+        chips = [o for o in outcomes if o.rate_index == rate_index]
+        recog_raw = [o.recognition_unrepaired for o in chips]
+        recog_rep = [o.recognition_repaired for o in chips]
         points.append(
             YieldPoint(
                 rates=rates,
                 samples=samples,
-                functional_yield_unrepaired=functional_raw / samples,
-                functional_yield_repaired=functional_rep / samples,
+                functional_yield_unrepaired=(
+                    sum(r >= recognition_threshold for r in recog_raw) / samples
+                ),
+                functional_yield_repaired=(
+                    sum(r >= recognition_threshold for r in recog_rep) / samples
+                ),
                 mean_recognition_unrepaired=float(np.mean(recog_raw)),
                 mean_recognition_repaired=float(np.mean(recog_rep)),
-                mean_connections_recovered=float(np.mean(recovered)),
-                mean_synapses_added=float(np.mean(added)),
+                mean_connections_recovered=float(
+                    np.mean([o.connections_recovered for o in chips])
+                ),
+                mean_synapses_added=float(np.mean([o.synapses_added for o in chips])),
             )
         )
     return YieldCurve(
@@ -219,5 +356,6 @@ def evaluate_yield(
             "spare_instances": spare_instances,
             "flip_fraction": flip_fraction,
             "trials_per_pattern": trials_per_pattern,
+            "n_jobs": n_jobs,
         },
     )

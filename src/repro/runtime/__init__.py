@@ -1,0 +1,52 @@
+"""repro.runtime — parallel, cache-aware execution engine for sweeps.
+
+The runtime turns independent (network, config, seed) flow runs into
+:class:`Job` objects and executes them through a :class:`Runner`:
+
+* jobs fan out over a ``ProcessPoolExecutor`` with spawn-safe per-job
+  RNGs (``numpy.random.SeedSequence.spawn``), so ``n_jobs=1`` and
+  ``n_jobs=8`` produce bitwise-identical results;
+* an :class:`ArtifactCache` content-addresses finished results on
+  (network digest, config hash, seed, package version), so re-running a
+  sweep only executes changed cells;
+* an :class:`EventLog` records a structured JSONL trace (job started /
+  finished / cache hits, per-stage wall times) and can drive a terminal
+  :class:`ProgressPrinter`.
+
+Quickstart
+----------
+>>> from repro.runtime import Runner, SweepSpec
+>>> from repro.core.config import fast_config
+>>> spec = SweepSpec(sizes=(40, 60), densities=(0.08,),
+...                  config=fast_config(), seed=7)
+>>> sweep = Runner(n_jobs=1).run_sweep(spec)  # doctest: +SKIP
+>>> sweep.executed  # doctest: +SKIP
+2
+"""
+
+from repro.runtime.cache import DEFAULT_CACHE_DIR, ArtifactCache, job_cache_key
+from repro.runtime.events import EventLog, ProgressPrinter
+from repro.runtime.jobs import Job, JobResult, SweepSpec
+from repro.runtime.runner import (
+    Runner,
+    SweepResult,
+    default_n_jobs,
+    register_executor,
+    registered_kinds,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "DEFAULT_CACHE_DIR",
+    "EventLog",
+    "Job",
+    "JobResult",
+    "ProgressPrinter",
+    "Runner",
+    "SweepResult",
+    "SweepSpec",
+    "default_n_jobs",
+    "job_cache_key",
+    "register_executor",
+    "registered_kinds",
+]

@@ -1,0 +1,178 @@
+"""Content-addressed on-disk artifact cache for flow results.
+
+Results are keyed on *content*: the job kind, its cache-key material
+(network digest, config hash, grid coordinates, …), its seed, and the
+package version — so editing a config knob, regenerating a network or
+upgrading the package all invalidate exactly the affected cells and
+nothing else.  Values are pickled under::
+
+    <root>/objects/<key[:2]>/<key>.pkl     # the pickled result
+    <root>/objects/<key[:2]>/<key>.json    # human-readable metadata
+
+Writes are atomic (temp file + ``os.replace``), so a crashed or killed
+run never leaves a truncated pickle behind; a corrupt entry is treated
+as a miss and deleted.  To invalidate everything, delete the cache root
+(or call :meth:`ArtifactCache.clear`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.jobs import Job
+from repro.utils.canonical import canonical, stable_hash
+
+#: Default cache directory, relative to the working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def _seed_material(seed) -> Any:
+    """Canonical cache-key form of a job seed."""
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return None if seed is None else int(seed)
+    if isinstance(seed, np.random.SeedSequence):
+        return canonical(seed)
+    raise TypeError(f"unsupported job seed type {type(seed).__name__}")
+
+
+def job_cache_key(job: Job, version: str) -> Optional[str]:
+    """The content-address of ``job``'s result, or ``None`` if uncacheable."""
+    if job.key is None:
+        return None
+    return stable_hash(
+        {
+            "kind": job.kind,
+            "key": job.key,
+            "seed": _seed_material(job.seed),
+            "version": version,
+        }
+    )
+
+
+class ArtifactCache:
+    """A content-addressed pickle store under one root directory.
+
+    Parameters
+    ----------
+    root:
+        Cache directory (created lazily on first write).
+    version:
+        Version string folded into every key; defaults to the installed
+        ``repro`` package version, so upgrading the code invalidates old
+        artifacts wholesale.
+    """
+
+    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR, version: Optional[str] = None) -> None:
+        self.root = Path(root)
+        if version is None:
+            from repro import __version__ as version
+        self.version = str(version)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def key_for(self, job: Job) -> Optional[str]:
+        """Cache key of ``job`` (``None`` for uncacheable jobs)."""
+        return job_cache_key(job, self.version)
+
+    def path_for(self, key: str) -> Path:
+        """Pickle path of a key (two-level fan-out keeps directories small)."""
+        return self.objects_dir / key[:2] / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: Optional[str]) -> Tuple[bool, Any]:
+        """``(hit, value)`` for a key; corrupt entries count as misses."""
+        if key is None:
+            return False, None
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            # Truncated/corrupt artifact (e.g. a killed writer on a
+            # non-atomic filesystem): drop it and recompute.
+            self.misses += 1
+            self._remove(key)
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def store(self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> Path:
+        """Atomically persist ``value`` (and a JSON metadata sidecar)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._atomic_write(path, payload)
+        sidecar = {
+            "key": key,
+            "version": self.version,
+            "created": time.time(),
+            "bytes": len(payload),
+            **(meta or {}),
+        }
+        self._atomic_write(
+            path.with_suffix(".json"),
+            (json.dumps(canonical(sidecar), sort_keys=True, indent=1) + "\n").encode("utf-8"),
+        )
+        return path
+
+    def contains(self, key: Optional[str]) -> bool:
+        """True when a (readable) artifact exists for ``key``."""
+        return key is not None and self.path_for(key).exists()
+
+    def clear(self) -> int:
+        """Delete every cached artifact; returns how many were removed."""
+        removed = 0
+        if not self.objects_dir.exists():
+            return removed
+        for path in sorted(self.objects_dir.rglob("*.pkl")):
+            path.unlink(missing_ok=True)
+            path.with_suffix(".json").unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.objects_dir.exists():
+            return 0
+        return sum(1 for _ in self.objects_dir.rglob("*.pkl"))
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactCache(root={str(self.root)!r}, entries={len(self)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )
+
+    # ------------------------------------------------------------------
+    def _remove(self, key: str) -> None:
+        path = self.path_for(key)
+        path.unlink(missing_ok=True)
+        path.with_suffix(".json").unlink(missing_ok=True)
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: bytes) -> None:
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), prefix=f".{path.name}.")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -1,0 +1,111 @@
+"""Structured event stream for sweep executions.
+
+Every run emits a flat sequence of events — ``sweep_started``,
+``job_started``, ``job_finished`` (with ``cache_hit`` and per-stage wall
+times), ``sweep_finished`` — that an :class:`EventLog` fans out to any
+combination of sinks:
+
+* an in-memory list (always; inspectable by tests and callers),
+* a JSONL trace file (one canonical-JSON object per line), and
+* a terminal progress printer (:class:`ProgressPrinter`).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, TextIO
+
+from repro.utils.canonical import canonical_json
+
+
+class EventLog:
+    """Collects, traces and displays runtime events.
+
+    Parameters
+    ----------
+    trace_path:
+        Optional JSONL file; each event is appended as one line, so a
+        crashed run still leaves a readable prefix.
+    printer:
+        Optional callable invoked with every event record (see
+        :class:`ProgressPrinter`).
+    """
+
+    def __init__(self, trace_path=None, printer=None) -> None:
+        self.events: List[Dict[str, Any]] = []
+        self.printer = printer
+        self._trace: Optional[TextIO] = None
+        self.trace_path: Optional[Path] = None
+        if trace_path is not None:
+            self.trace_path = Path(trace_path)
+            self.trace_path.parent.mkdir(parents=True, exist_ok=True)
+            self._trace = open(self.trace_path, "a", encoding="utf-8")
+
+    def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
+        """Record one event; returns the full record."""
+        record = {"ts": time.time(), "event": event, **fields}
+        self.events.append(record)
+        if self._trace is not None:
+            self._trace.write(canonical_json(record) + "\n")
+            self._trace.flush()
+        if self.printer is not None:
+            self.printer(record)
+        return record
+
+    def of_kind(self, event: str) -> List[Dict[str, Any]]:
+        """All recorded events of one kind, in emission order."""
+        return [record for record in self.events if record["event"] == event]
+
+    def close(self) -> None:
+        """Close the trace file (the in-memory log stays readable)."""
+        if self._trace is not None:
+            self._trace.close()
+            self._trace = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ProgressPrinter:
+    """Terminal progress lines for job events.
+
+    Prints one line per finished job::
+
+        [3/9] done   n=100 d=0.08   12.41s
+        [4/9] cached n=100 d=0.05    0.00s
+
+    and a closing summary on ``sweep_finished``.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self._total = 0
+        self._done = 0
+
+    def __call__(self, record: Dict[str, Any]) -> None:
+        event = record.get("event")
+        if event == "sweep_started":
+            self._total = int(record.get("jobs", 0))
+            self._done = 0
+            print(f"running {self._total} job(s), n_jobs={record.get('n_jobs', 1)}",
+                  file=self.stream)
+        elif event == "job_finished":
+            self._done += 1
+            status = "cached" if record.get("cache_hit") else "done  "
+            label = record.get("label", "?")
+            seconds = float(record.get("seconds", 0.0))
+            total = self._total if self._total else "?"
+            print(f"[{self._done}/{total}] {status} {label:<24} {seconds:8.2f}s",
+                  file=self.stream)
+        elif event == "sweep_finished":
+            print(
+                f"finished: {record.get('executed', 0)} executed, "
+                f"{record.get('cache_hits', 0)} cache hit(s), "
+                f"{float(record.get('seconds', 0.0)):.2f}s wall",
+                file=self.stream,
+            )

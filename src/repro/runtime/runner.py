@@ -1,0 +1,382 @@
+"""The parallel, cache-aware job runner.
+
+:class:`Runner` fans a list of :class:`~repro.runtime.jobs.Job` out over
+a ``concurrent.futures.ProcessPoolExecutor`` (or runs them inline at
+``n_jobs=1``).  Three properties make it safe to parallelize the AutoNCS
+flows:
+
+* **Determinism** — every job carries its own seed material, fixed at
+  job construction (``SeedSequence.spawn`` or an explicit child seed);
+  the worker expands it with ``numpy.random.default_rng``.  Scheduling,
+  worker count and completion order therefore cannot perturb results:
+  ``n_jobs=1`` and ``n_jobs=8`` are bitwise-identical.
+* **Caching** — with an :class:`~repro.runtime.cache.ArtifactCache`, the
+  runner serves finished cells from disk and only executes changed ones.
+  Cache reads and writes happen in the driver process (single writer, no
+  cross-process races).
+* **Observability** — every job emits ``job_started`` /
+  ``job_finished`` events (with per-stage wall times re-exported from
+  the flow diagnostics) through an :class:`~repro.runtime.events.EventLog`.
+
+Executors are plain module-level functions registered under a *kind*
+string, so jobs pickle as data and the work function resolves inside
+the worker process regardless of the start method (fork or spawn).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.cache import ArtifactCache
+from repro.runtime.events import EventLog
+from repro.runtime.jobs import Job, JobResult, SweepSpec
+from repro.utils.timers import Timer
+
+#: kind -> executor(rng=..., **payload).  Module-level so that worker
+#: processes rebuild it on import, even under the 'spawn' start method.
+_EXECUTORS: Dict[str, Callable[..., Any]] = {}
+
+
+def register_executor(kind: str, fn: Callable[..., Any]) -> None:
+    """Register (or replace) the executor behind a job kind."""
+    if not callable(fn):
+        raise TypeError(f"executor for {kind!r} must be callable")
+    _EXECUTORS[kind] = fn
+
+
+def registered_kinds() -> List[str]:
+    """The currently registered job kinds (sorted)."""
+    return sorted(_EXECUTORS)
+
+
+# ----------------------------------------------------------------------
+# Built-in executors
+# ----------------------------------------------------------------------
+def _run_compare(network, config, rng):
+    from repro.core.autoncs import AutoNCS
+
+    return AutoNCS(config).compare(network, rng=rng)
+
+
+def _run_autoncs(network, config, rng):
+    from repro.core.autoncs import AutoNCS
+
+    return AutoNCS(config).run(network, rng=rng)
+
+
+def _run_fullcro(network, config, rng):
+    from repro.core.autoncs import AutoNCS
+
+    return AutoNCS(config).run_baseline(network, rng=rng)
+
+
+def _run_yield_trial(rng, **payload):
+    from repro.reliability.yield_eval import execute_trial
+
+    return execute_trial(**payload)
+
+
+register_executor("compare", _run_compare)
+register_executor("autoncs", _run_autoncs)
+register_executor("fullcro", _run_fullcro)
+register_executor("yield_trial", _run_yield_trial)
+
+
+def _job_stage_seconds(value: Any) -> Dict[str, float]:
+    """Per-stage wall times of a flow result, when it carries any.
+
+    Understands ``AutoNcsResult`` (run diagnostics), ``PhysicalDesign``
+    (implement diagnostics) and ``ComparisonReport`` (both flows,
+    prefixed), so events re-export where the time went.
+    """
+    metadata = getattr(value, "metadata", None)
+    if isinstance(metadata, dict):
+        times = metadata.get("stage_seconds")
+        if isinstance(times, dict):
+            return {str(k): float(v) for k, v in times.items()}
+        diagnostics = metadata.get("diagnostics", {})
+        times = diagnostics.get("stage_seconds") if isinstance(diagnostics, dict) else None
+        if isinstance(times, dict):
+            return {str(k): float(v) for k, v in times.items()}
+    autoncs = getattr(value, "autoncs", None)
+    fullcro = getattr(value, "fullcro", None)
+    if autoncs is not None and fullcro is not None:
+        merged: Dict[str, float] = {}
+        for prefix, design in (("autoncs", autoncs), ("fullcro", fullcro)):
+            for stage, seconds in _job_stage_seconds(design).items():
+                merged[f"{prefix}.{stage}"] = seconds
+        return merged
+    return {}
+
+
+def _execute_job(index: int, job: Job) -> Tuple[int, Any, float]:
+    """Worker entry point: run one job and time it.
+
+    Top-level (picklable) on purpose; the executor registry is rebuilt
+    by module import inside the worker.
+    """
+    try:
+        fn = _EXECUTORS[job.kind]
+    except KeyError:
+        raise ValueError(
+            f"no executor registered for job kind {job.kind!r} "
+            f"(known: {registered_kinds()})"
+        ) from None
+    rng = None if job.seed is None else np.random.default_rng(job.seed)
+    with Timer() as timer:
+        value = fn(rng=rng, **job.payload)
+    return index, value, timer.elapsed
+
+
+def default_n_jobs() -> int:
+    """A sensible worker count: ``REPRO_N_JOBS`` env or the CPU count."""
+    env = os.environ.get("REPRO_N_JOBS", "")
+    if env:
+        return max(1, int(env))
+    return max(1, os.cpu_count() or 1)
+
+
+class Runner:
+    """Executes jobs over a process pool with caching and events.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes; ``1`` (default) runs inline in this process —
+        no pool, no pickling, identical results.
+    cache:
+        Optional :class:`ArtifactCache`; cacheable jobs whose key is
+        present are served from disk without executing.
+    events:
+        Optional :class:`EventLog` receiving the structured event stream.
+    """
+
+    def __init__(
+        self,
+        n_jobs: int = 1,
+        cache: Optional[ArtifactCache] = None,
+        events: Optional[EventLog] = None,
+    ) -> None:
+        if n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+        self.n_jobs = int(n_jobs)
+        self.cache = cache
+        self.events = events if events is not None else EventLog()
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> List[JobResult]:
+        """Execute ``jobs``; returns results in job order.
+
+        Cache hits never execute; misses run inline or on the pool and
+        are stored back.  Raises the job's error (annotated with its
+        label) on failure.
+        """
+        jobs = list(jobs)
+        self.events.emit("sweep_started", jobs=len(jobs), n_jobs=self.n_jobs)
+        results: List[Optional[JobResult]] = [None] * len(jobs)
+        pending: List[Tuple[int, Optional[str]]] = []
+        with Timer() as wall:
+            for index, job in enumerate(jobs):
+                key = self.cache.key_for(job) if self.cache is not None else None
+                hit, value = (self.cache.lookup(key) if key is not None else (False, None))
+                if hit:
+                    results[index] = JobResult(
+                        index=index,
+                        label=job.label,
+                        kind=job.kind,
+                        value=value,
+                        seconds=0.0,
+                        cache_hit=True,
+                        stage_seconds=_job_stage_seconds(value),
+                    )
+                    self.events.emit(
+                        "job_finished",
+                        label=job.label,
+                        kind=job.kind,
+                        index=index,
+                        seconds=0.0,
+                        cache_hit=True,
+                    )
+                else:
+                    pending.append((index, key))
+            if self.n_jobs == 1 or len(pending) <= 1:
+                for index, key in pending:
+                    self._finish(jobs, results, key, *self._run_inline(index, jobs[index]))
+            else:
+                self._run_pool(jobs, results, pending)
+        executed = len(pending)
+        self.events.emit(
+            "sweep_finished",
+            jobs=len(jobs),
+            executed=executed,
+            cache_hits=len(jobs) - executed,
+            seconds=wall.elapsed,
+        )
+        return [result for result in results if result is not None]
+
+    def run_sweep(self, spec: SweepSpec) -> "SweepResult":
+        """Expand a :class:`SweepSpec` and execute it."""
+        return SweepResult(spec=spec, results=self.run(spec.jobs()))
+
+    # ------------------------------------------------------------------
+    def _run_inline(self, index: int, job: Job) -> Tuple[int, Any, float]:
+        self.events.emit("job_started", label=job.label, kind=job.kind, index=index)
+        try:
+            return _execute_job(index, job)
+        except Exception as exc:
+            raise RuntimeError(
+                f"job {job.label!r} (kind={job.kind!r}) failed: {exc}"
+            ) from exc
+
+    def _run_pool(
+        self,
+        jobs: List[Job],
+        results: List[Optional[JobResult]],
+        pending: List[Tuple[int, Optional[str]]],
+    ) -> None:
+        keys = dict(pending)
+        max_workers = min(self.n_jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {}
+            for index, _key in pending:
+                job = jobs[index]
+                self.events.emit(
+                    "job_started", label=job.label, kind=job.kind, index=index
+                )
+                futures[pool.submit(_execute_job, index, job)] = index
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = futures[future]
+                    try:
+                        _index, value, seconds = future.result()
+                    except Exception as exc:
+                        job = jobs[index]
+                        for leftover in outstanding:
+                            leftover.cancel()
+                        raise RuntimeError(
+                            f"job {job.label!r} (kind={job.kind!r}) failed: {exc}"
+                        ) from exc
+                    self._finish(jobs, results, keys[index], index, value, seconds)
+
+    def _finish(
+        self,
+        jobs: List[Job],
+        results: List[Optional[JobResult]],
+        key: Optional[str],
+        index: int,
+        value: Any,
+        seconds: float,
+    ) -> None:
+        job = jobs[index]
+        stage_seconds = _job_stage_seconds(value)
+        results[index] = JobResult(
+            index=index,
+            label=job.label,
+            kind=job.kind,
+            value=value,
+            seconds=seconds,
+            cache_hit=False,
+            stage_seconds=stage_seconds,
+        )
+        if self.cache is not None and key is not None:
+            self.cache.store(key, value, meta={"label": job.label, "kind": job.kind})
+        self.events.emit(
+            "job_finished",
+            label=job.label,
+            kind=job.kind,
+            index=index,
+            seconds=seconds,
+            cache_hit=False,
+            stage_seconds=stage_seconds,
+        )
+
+
+@dataclass
+class SweepResult:
+    """The outcome of one executed sweep grid."""
+
+    spec: SweepSpec
+    results: List[JobResult]
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def cache_hits(self) -> int:
+        """How many cells were served from the artifact cache."""
+        return sum(1 for result in self.results if result.cache_hit)
+
+    @property
+    def executed(self) -> int:
+        """How many cells actually ran the flow."""
+        return len(self.results) - self.cache_hits
+
+    def cell_rows(self) -> List[Dict[str, Any]]:
+        """One scalar summary row per grid cell (for tables/JSON)."""
+        rows = []
+        for (size, density), result in zip(self.spec.cells(), self.results):
+            row: Dict[str, Any] = {
+                "size": size,
+                "density": density,
+                "label": result.label,
+                "seconds": result.seconds,
+                "cache_hit": result.cache_hit,
+            }
+            value = result.value
+            if self.spec.kind == "compare":
+                row.update(
+                    wirelength_reduction=value.wirelength_reduction,
+                    area_reduction=value.area_reduction,
+                    delay_reduction=value.delay_reduction,
+                )
+            else:
+                design = getattr(value, "design", value)
+                row.update(
+                    wirelength_um=design.cost.wirelength_um,
+                    area_um2=design.cost.area_um2,
+                    delay_ns=design.cost.average_delay_ns,
+                )
+            rows.append(row)
+        return rows
+
+    def format_table(self) -> str:
+        """A fixed-width text table over the grid cells."""
+        rows = self.cell_rows()
+        if self.spec.kind == "compare":
+            header = (
+                f"{'size':>6} {'density':>8} {'wl red':>8} {'area red':>9} "
+                f"{'delay red':>10} {'seconds':>8} {'cache':>6}"
+            )
+            lines = [header, "-" * len(header)]
+            for row in rows:
+                lines.append(
+                    f"{row['size']:>6d} {row['density']:>8.3f} "
+                    f"{row['wirelength_reduction']:>7.2f}% "
+                    f"{row['area_reduction']:>8.2f}% "
+                    f"{row['delay_reduction']:>9.2f}% "
+                    f"{row['seconds']:>8.2f} "
+                    f"{'hit' if row['cache_hit'] else 'miss':>6}"
+                )
+        else:
+            header = (
+                f"{'size':>6} {'density':>8} {'wirelength':>12} {'area':>12} "
+                f"{'delay':>8} {'seconds':>8} {'cache':>6}"
+            )
+            lines = [header, "-" * len(header)]
+            for row in rows:
+                lines.append(
+                    f"{row['size']:>6d} {row['density']:>8.3f} "
+                    f"{row['wirelength_um']:>12,.1f} {row['area_um2']:>12,.2f} "
+                    f"{row['delay_ns']:>8.2f} {row['seconds']:>8.2f} "
+                    f"{'hit' if row['cache_hit'] else 'miss':>6}"
+                )
+        lines.append(
+            f"{len(rows)} cell(s): {self.executed} executed, "
+            f"{self.cache_hits} cache hit(s)"
+        )
+        return "\n".join(lines)

@@ -1,7 +1,8 @@
-"""Shared utilities: argument validation, seeded RNG handling, timers."""
+"""Shared utilities: argument validation, seeded RNG handling, timers, hashing."""
 
-from repro.utils.rng import ensure_rng, spawn_rng
-from repro.utils.timers import Timer
+from repro.utils.canonical import canonical, canonical_json, stable_hash
+from repro.utils.rng import ensure_rng, spawn_rng, spawn_seeds
+from repro.utils.timers import Timer, format_stage_seconds
 from repro.utils.validation import (
     check_binary_matrix,
     check_in_range,
@@ -12,11 +13,16 @@ from repro.utils.validation import (
 
 __all__ = [
     "Timer",
+    "canonical",
+    "canonical_json",
     "check_binary_matrix",
     "check_in_range",
     "check_positive",
     "check_probability",
     "check_square",
     "ensure_rng",
+    "format_stage_seconds",
     "spawn_rng",
+    "spawn_seeds",
+    "stable_hash",
 ]

@@ -1,0 +1,80 @@
+"""Canonical serialization and stable content hashing.
+
+The artifact cache of :mod:`repro.runtime` keys results on *content*:
+the network topology, every configuration knob, the seed and the package
+version.  For that to work across processes and sessions, equal inputs
+must serialize to byte-identical strings.  :func:`canonical` normalizes
+arbitrary configuration-like values (dataclasses, dicts, tuples, numpy
+scalars and small arrays) into plain JSON-compatible structures with a
+deterministic key order, and :func:`stable_hash` digests them with
+SHA-256.
+
+Python's builtin ``hash()`` is *not* suitable here: it is salted per
+process for strings and unstable across versions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+import numpy as np
+
+
+def canonical(value: Any) -> Any:
+    """Reduce ``value`` to a deterministic JSON-compatible structure.
+
+    Dataclasses are tagged with their class name so that two different
+    config types with identical fields do not collide; mappings are
+    key-sorted by :func:`json.dumps` at hash time; sequences become
+    lists; numpy scalars and arrays become Python numbers and nested
+    lists.  Objects with no canonical form fall back to ``repr``.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # repr round-trips doubles exactly; keep floats as floats so the
+        # JSON encoder emits the shortest exact representation.
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__dataclass__": type(value).__name__, **fields}
+    if isinstance(value, dict):
+        return {str(key): canonical(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = [canonical(item) for item in value]
+        if isinstance(value, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return items
+    if isinstance(value, np.random.SeedSequence):
+        return {
+            "__seed_sequence__": canonical(value.entropy),
+            "spawn_key": list(value.spawn_key),
+        }
+    return repr(value)
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON text of ``value`` (sorted keys, no whitespace)."""
+    return json.dumps(canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+def stable_hash(value: Any) -> str:
+    """A hex SHA-256 digest of ``value``'s canonical form.
+
+    Stable across processes, sessions and platforms — unlike ``hash()``.
+    """
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

@@ -30,12 +30,22 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     raise TypeError(f"rng must be None, an int seed, or a numpy Generator, got {type(rng).__name__}")
 
 
+def spawn_seeds(rng: RngLike, count: int) -> list:
+    """Draw ``count`` independent child *seeds* (ints) from ``rng``.
+
+    The integer seeds are what :func:`spawn_rng` feeds to
+    ``numpy.random.default_rng``; exposing them lets a driver ship a
+    child's seed to another process (or into a cache key) and still
+    reproduce exactly the generator a serial run would have used.
+    """
+    parent = ensure_rng(rng)
+    return [int(seed) for seed in parent.integers(0, 2**63 - 1, size=count)]
+
+
 def spawn_rng(rng: RngLike, count: int) -> list:
     """Derive ``count`` independent child generators from ``rng``.
 
     Used when a driver hands sub-tasks (e.g. per-testbench runs) their own
     stream so that re-ordering tasks does not perturb each other's draws.
     """
-    parent = ensure_rng(rng)
-    seeds = parent.integers(0, 2**63 - 1, size=count)
-    return [np.random.default_rng(int(seed)) for seed in seeds]
+    return [np.random.default_rng(seed) for seed in spawn_seeds(rng, count)]

@@ -1,12 +1,29 @@
-"""A tiny wall-clock timer used by the GCP-vs-traversing runtime comparison."""
+"""Wall-clock timing utilities.
+
+:class:`Timer` is the context manager used throughout the flow (stage
+timing in :mod:`repro.core.autoncs`, the GCP-vs-traversing comparison,
+the :mod:`repro.runtime` runner).  It is re-entrant: one instance may be
+nested inside itself, and each exit reports the span that just closed
+while the outer span keeps running undisturbed.
+
+:func:`format_stage_seconds` renders a ``stage -> seconds`` mapping (the
+``stage_seconds`` diagnostics collected by ``AutoNCS.run``) as an aligned
+text block for reports and CLI output.
+"""
 
 from __future__ import annotations
 
 import time
+from typing import Mapping
 
 
 class Timer:
-    """Context manager measuring elapsed wall-clock seconds.
+    """Re-entrant context manager measuring elapsed wall-clock seconds.
+
+    Each ``with`` entry pushes a start time; each exit pops it, setting
+    :attr:`elapsed` to the span that just closed.  Outermost spans also
+    accumulate into :attr:`total`, so one instance can time a whole loop
+    of disjoint sections without double-counting nested use.
 
     Example
     -------
@@ -14,20 +31,69 @@ class Timer:
     ...     _ = sum(range(1000))
     >>> t.elapsed >= 0.0
     True
+    >>> t.total >= t.elapsed
+    True
+
+    Nesting the same instance is safe — the outer span survives:
+
+    >>> t = Timer()
+    >>> with t:
+    ...     with t:
+    ...         _ = sum(range(10))
+    ...     inner = t.elapsed
+    >>> t.elapsed >= inner
+    True
     """
 
     def __init__(self) -> None:
-        self._start: float = 0.0
+        self._starts: list = []
         self.elapsed: float = 0.0
+        self.total: float = 0.0
+
+    @property
+    def depth(self) -> int:
+        """How many nested spans are currently open."""
+        return len(self._starts)
+
+    @property
+    def running(self) -> bool:
+        """True while at least one span is open."""
+        return bool(self._starts)
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._starts.append(time.perf_counter())
         return self
 
     def __exit__(self, *exc_info: object) -> None:
-        self.elapsed = time.perf_counter() - self._start
+        if not self._starts:  # pragma: no cover - misuse guard
+            raise RuntimeError("Timer.__exit__ without a matching __enter__")
+        self.elapsed = time.perf_counter() - self._starts.pop()
+        if not self._starts:
+            self.total += self.elapsed
 
     @property
     def elapsed_ms(self) -> float:
-        """Elapsed time in milliseconds."""
+        """Elapsed time of the last closed span in milliseconds."""
         return self.elapsed * 1e3
+
+
+def format_stage_seconds(
+    stage_seconds: Mapping[str, float], indent: str = "  "
+) -> str:
+    """Render per-stage wall times as an aligned block with percentages.
+
+    ``stage_seconds`` maps stage names to seconds (e.g. the
+    ``stage_seconds`` entry of ``AutoNcsResult.metadata``); insertion
+    order is preserved, a total line is appended.
+    """
+    stages = [(str(name), float(seconds)) for name, seconds in stage_seconds.items()]
+    if not stages:
+        return f"{indent}(no stage timings recorded)"
+    total = sum(seconds for _, seconds in stages)
+    width = max(len("total"), max(len(name) for name, _ in stages))
+    lines = []
+    for name, seconds in stages:
+        share = (seconds / total * 100.0) if total > 0 else 0.0
+        lines.append(f"{indent}{name:<{width}}  {seconds:9.3f} s  ({share:5.1f} %)")
+    lines.append(f"{indent}{'total':<{width}}  {total:9.3f} s")
+    return "\n".join(lines)

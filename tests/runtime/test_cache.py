@@ -1,0 +1,107 @@
+"""Tests for the content-addressed artifact cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import fast_config
+from repro.runtime import ArtifactCache, Job, job_cache_key
+
+
+def make_job(seed=7, key=None):
+    if key is None:
+        key = {"network": "abc123", "size": 40}
+    return Job(kind="autoncs", label="j", payload={}, seed=seed, key=key)
+
+
+class TestJobCacheKey:
+    def test_uncacheable_without_key(self):
+        job = Job(kind="autoncs", label="j", payload={}, seed=1, key=None)
+        assert not job.cacheable
+        assert job_cache_key(job, "1.0") is None
+
+    def test_stable_across_calls(self):
+        assert job_cache_key(make_job(), "1.0") == job_cache_key(make_job(), "1.0")
+
+    def test_sensitive_to_every_component(self):
+        base = job_cache_key(make_job(), "1.0")
+        assert job_cache_key(make_job(seed=8), "1.0") != base
+        assert job_cache_key(make_job(key={"network": "zzz"}), "1.0") != base
+        assert job_cache_key(make_job(), "2.0") != base
+        other_kind = Job(kind="fullcro", label="j", payload={},
+                         seed=7, key={"network": "abc123", "size": 40})
+        assert job_cache_key(other_kind, "1.0") != base
+
+    def test_seed_sequence_seeds_are_hashable(self):
+        seq = np.random.SeedSequence(3).spawn(2)[0]
+        job = make_job(seed=seq)
+        key = job_cache_key(job, "1.0")
+        assert key is not None
+        assert key == job_cache_key(make_job(seed=seq), "1.0")
+
+    def test_config_hash_differs_between_configs(self):
+        from repro.core.config import AutoNcsConfig
+
+        assert AutoNcsConfig().cache_key() != fast_config().cache_key()
+
+
+class TestArtifactCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ArtifactCache(tmp_path, version="1.0")
+        key = cache.key_for(make_job())
+        hit, _ = cache.lookup(key)
+        assert not hit and cache.misses == 1
+        cache.store(key, {"answer": 42}, meta={"label": "j"})
+        hit, value = cache.lookup(key)
+        assert hit and value == {"answer": 42}
+        assert cache.hits == 1
+        assert len(cache) == 1
+
+    def test_lookup_none_key_is_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path, version="1.0")
+        assert cache.lookup(None) == (False, None)
+        assert not cache.contains(None)
+
+    def test_corrupt_entry_is_miss_and_removed(self, tmp_path):
+        cache = ArtifactCache(tmp_path, version="1.0")
+        key = cache.key_for(make_job())
+        cache.store(key, [1, 2, 3])
+        cache.path_for(key).write_bytes(b"not a pickle")
+        hit, value = cache.lookup(key)
+        assert not hit and value is None
+        assert not cache.path_for(key).exists()
+
+    def test_metadata_sidecar_written(self, tmp_path):
+        cache = ArtifactCache(tmp_path, version="1.0")
+        key = cache.key_for(make_job())
+        path = cache.store(key, "v", meta={"label": "cell"})
+        sidecar = path.with_suffix(".json")
+        assert sidecar.exists()
+        assert '"label"' in sidecar.read_text()
+
+    def test_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path, version="1.0")
+        for seed in range(3):
+            cache.store(cache.key_for(make_job(seed=seed)), seed)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_version_partitions_entries(self, tmp_path):
+        old = ArtifactCache(tmp_path, version="1.0")
+        new = ArtifactCache(tmp_path, version="2.0")
+        job = make_job()
+        old.store(old.key_for(job), "old-value")
+        hit, _ = new.lookup(new.key_for(job))
+        assert not hit
+
+    def test_default_version_is_package_version(self, tmp_path):
+        import repro
+
+        cache = ArtifactCache(tmp_path)
+        assert cache.version == repro.__version__
+
+    def test_rejects_unsupported_seed_type(self):
+        job = Job(kind="autoncs", label="j", payload={},
+                  seed="not-a-seed", key={"x": 1})
+        with pytest.raises(TypeError):
+            job_cache_key(job, "1.0")

@@ -22,6 +22,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["testbench", "4"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert args.kind == "compare"
+        assert args.cache_dir == ".repro-cache"
+        assert not args.no_cache
+
+    def test_sweep_kind_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--kind", "explode"])
+
+    def test_reliability_jobs_flag(self):
+        args = build_parser().parse_args(["reliability", "--jobs", "3"])
+        assert args.jobs == 3
+
 
 class TestCommands:
     def test_cluster_on_small_network(self, capsys):
@@ -65,3 +80,92 @@ class TestCommands:
         code = main(["render", str(src), "--output", str(out), "--clustered"])
         assert code == 0
         assert "svg" in out.read_text()
+
+    def test_render_missing_network_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["render", str(tmp_path / "nope.npz")])
+
+    def test_reliability_end_to_end(self, capsys):
+        code = main([
+            "reliability", "--dimension", "60", "--samples", "2",
+            "--rates", "0.0", "0.3", "--seed", "9",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reliability experiment" in out
+        assert "yield(raw)" in out and "yield(rep)" in out
+        # one table row per swept rate
+        assert "0.000" in out and "0.300" in out
+
+    def test_reliability_jobs_match_serial(self, capsys):
+        argv = ["reliability", "--dimension", "60", "--samples", "2",
+                "--rates", "0.0", "0.3", "--seed", "9"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_compare_jobs_match_serial(self, capsys):
+        argv = ["compare", "--fast", "--neurons", "48",
+                "--density", "0.08", "--seed", "2"]
+
+        def cost_lines(text):
+            # drop the stage-seconds block: wall times differ run to run
+            return [line for line in text.splitlines()
+                    if not line.startswith(("stage seconds", "  "))]
+
+        assert main(argv) == 0
+        serial = cost_lines(capsys.readouterr().out)
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = cost_lines(capsys.readouterr().out)
+        assert parallel == serial
+
+
+class TestSweepCommand:
+    ARGS = ["sweep", "--sizes", "30", "40", "--densities", "0.08",
+            "--fast", "--seed", "11"]
+
+    def test_end_to_end_with_cache_and_trace(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        trace = tmp_path / "trace.jsonl"
+        code = main(self.ARGS + ["--cache-dir", str(cache_dir),
+                                 "--trace", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s): 2 executed, 0 cache hit(s)" in out
+        assert trace.exists() and trace.read_text().count("\n") >= 4
+
+        # warm rerun: everything served from the cache
+        code = main(self.ARGS + ["--cache-dir", str(cache_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s): 0 executed, 2 cache hit(s)" in out
+
+    def test_no_cache_always_executes(self, tmp_path, capsys):
+        for _ in range(2):
+            code = main(self.ARGS + ["--no-cache"])
+            assert code == 0
+            assert "2 executed, 0 cache hit(s)" in capsys.readouterr().out
+
+    def test_clear_cache(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        assert main(self.ARGS + ["--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        code = main(self.ARGS + ["--cache-dir", str(cache_dir), "--clear-cache"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cleared 2 cached artifact(s)" in out
+        assert "2 executed" in out
+
+    def test_deterministic_across_jobs(self, tmp_path, capsys):
+        def table(extra):
+            assert main(self.ARGS + ["--no-cache"] + extra) == 0
+            out = capsys.readouterr().out
+            # keep the grid rows; timing columns are stripped per row
+            rows = [line.split()[:5] for line in out.splitlines()
+                    if line.strip().startswith(("30", "40"))]
+            assert rows
+            return rows
+
+        assert table([]) == table(["--jobs", "4"])

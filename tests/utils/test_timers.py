@@ -1,0 +1,73 @@
+"""Tests for the re-entrant Timer and stage-time formatting."""
+
+import time
+
+import pytest
+
+from repro.utils.timers import Timer, format_stage_seconds
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+        assert timer.elapsed_ms == pytest.approx(timer.elapsed * 1e3)
+
+    def test_reentrant_nesting_preserves_outer_span(self):
+        timer = Timer()
+        with timer:
+            assert timer.depth == 1
+            with timer:
+                assert timer.depth == 2
+                time.sleep(0.01)
+            inner = timer.elapsed
+            time.sleep(0.01)
+        assert timer.depth == 0
+        assert not timer.running
+        assert inner >= 0.01
+        # the outer span covers the inner one plus the extra sleep
+        assert timer.elapsed >= inner + 0.01
+
+    def test_total_accumulates_outermost_spans_only(self):
+        timer = Timer()
+        with timer:
+            with timer:
+                pass
+        first_total = timer.total
+        assert first_total == pytest.approx(timer.elapsed)
+        with timer:
+            time.sleep(0.005)
+        assert timer.total >= first_total + 0.005
+
+    def test_running_flag(self):
+        timer = Timer()
+        assert not timer.running
+        with timer:
+            assert timer.running
+        assert not timer.running
+
+
+class TestFormatStageSeconds:
+    def test_aligned_block_with_total(self):
+        text = format_stage_seconds({"isc": 1.0, "placement": 3.0})
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert "isc" in lines[0] and "( 25.0 %)" in lines[0]
+        assert "placement" in lines[1] and "( 75.0 %)" in lines[1]
+        assert "total" in lines[2] and "4.000 s" in lines[2]
+
+    def test_insertion_order_preserved(self):
+        text = format_stage_seconds({"z-last": 1.0, "a-first": 1.0})
+        assert text.index("z-last") < text.index("a-first")
+
+    def test_empty_mapping(self):
+        assert "no stage timings" in format_stage_seconds({})
+
+    def test_zero_total_avoids_division(self):
+        text = format_stage_seconds({"isc": 0.0})
+        assert "(  0.0 %)" in text
+
+    def test_custom_indent(self):
+        text = format_stage_seconds({"isc": 1.0}, indent=">>")
+        assert all(line.startswith(">>") for line in text.splitlines())
