@@ -29,7 +29,7 @@ Quickstart
 
 from repro.core import AutoNCS, AutoNcsConfig, AutoNcsResult, ComparisonReport
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AutoNCS",

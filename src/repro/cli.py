@@ -18,6 +18,11 @@ Commands
 ``sweep``
     Run a (size × density) grid of flow executions through the parallel,
     cache-aware :mod:`repro.runtime` engine.
+``verify``
+    Run the flow on a network (generated, loaded or a paper testbench)
+    and independently verify the result: coverage, hardware legality,
+    physical legality, functional equivalence.  Exit status 1 on any
+    violation.
 """
 
 from __future__ import annotations
@@ -183,6 +188,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.verify import verify_flow
+
+    config: AutoNcsConfig = fast_config() if args.fast else AutoNcsConfig()
+    hopfield = None
+    if args.testbench:
+        from repro.experiments.testbenches import scaled_testbench
+
+        spec = scaled_testbench(args.testbench, args.dimension or None)
+        instance = build_testbench(spec, rng=args.seed)
+        network, hopfield = instance.network, instance.hopfield
+        print(f"testbench: {spec.label}")
+    else:
+        network = _load_or_generate(args)
+    print(f"network: {network}")
+    auto = AutoNCS(config)
+    if args.baseline:
+        flow = auto.run_baseline(network, rng=args.seed)
+    else:
+        flow = auto.run(network, rng=args.seed)
+    report = verify_flow(flow, hopfield=hopfield, checks=args.checks or None)
+    print(report.format())
+    return 0 if report.passed else 1
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     network = load_network_npz(args.network)
     clusters = None
@@ -278,6 +308,25 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--trace",
                        help="write a JSONL event trace to this file")
     sweep.set_defaults(func=_cmd_sweep)
+
+    verify = sub.add_parser(
+        "verify", help="run the flow and independently verify the result"
+    )
+    _add_network_arguments(verify)
+    verify.add_argument("--testbench", type=int, default=0, choices=(0, 1, 2, 3),
+                        help="verify a paper testbench instead of a "
+                             "generated/loaded network (default 0 = off)")
+    verify.add_argument("--dimension", type=int, default=120,
+                        help="scaled testbench size N (default 120; "
+                             "0 = full paper size)")
+    verify.add_argument("--baseline", action="store_true",
+                        help="verify the FullCro baseline flow instead of AutoNCS")
+    verify.add_argument("--fast", action="store_true",
+                        help="reduced-effort physical design (quick preview)")
+    verify.add_argument("--checks", nargs="+",
+                        choices=("coverage", "hardware", "physical", "functional"),
+                        help="run only these checks (default: all)")
+    verify.set_defaults(func=_cmd_verify)
 
     render = sub.add_parser("render", help="render a saved network to SVG")
     render.add_argument("network", help="a .npz network file")

@@ -211,6 +211,24 @@ def _route_with_retry(
     return routing
 
 
+def _verify_design(design: PhysicalDesign, diagnostics: dict) -> None:
+    """Run the independent verifier on a finished design (``verify=True``).
+
+    Records the report summary and wall time in ``diagnostics`` before
+    raising on failure, so a caught :class:`~repro.verify.VerificationError`
+    still leaves the diagnostics trail complete.
+    """
+    # Imported here: repro.verify is the *consumer* of the flow's artifacts
+    # and should stay importable without pulling the whole flow in reverse.
+    from repro.verify import verify_flow
+
+    with Timer() as timer:
+        report = verify_flow(design)
+    diagnostics.setdefault("stage_seconds", {})["verify"] = timer.elapsed
+    diagnostics["verification"] = report.summary()
+    report.raise_if_failed()
+
+
 @dataclass
 class AutoNcsResult:
     """Everything the AutoNCS flow produced for one network.
@@ -322,8 +340,19 @@ class AutoNCS:
             rng=rng,
         )
 
-    def run(self, network: ConnectionMatrix, rng: RngLike = None) -> AutoNcsResult:
+    def run(
+        self,
+        network: ConnectionMatrix,
+        rng: RngLike = None,
+        verify: bool = False,
+    ) -> AutoNcsResult:
         """Execute the full AutoNCS flow on ``network``.
+
+        With ``verify=True`` the independent checker of :mod:`repro.verify`
+        re-derives every flow invariant (coverage, hardware legality,
+        physical legality, functional equivalence) from the artifacts; the
+        report summary lands in ``result.metadata["verification"]`` and a
+        failing report raises :class:`~repro.verify.VerificationError`.
 
         Raises
         ------
@@ -332,6 +361,8 @@ class AutoNCS:
             stage, instead of crashing inside the spectral solver).
         StageError
             When a stage fails after its fallbacks are exhausted.
+        repro.verify.VerificationError
+            When ``verify=True`` and any check finds a violation.
         """
         rng = ensure_rng(rng)
         _require_connections(network, stage="isc")
@@ -351,18 +382,33 @@ class AutoNCS:
                 ) from exc
         diagnostics["stage_seconds"]["mapping"] = timer.elapsed
         design = implement_mapping(mapping, self.config, rng=rng, diagnostics=diagnostics)
-        return AutoNcsResult(
+        result = AutoNcsResult(
             isc=isc, mapping=mapping, design=design, metadata=diagnostics
         )
+        if verify:
+            _verify_design(design, diagnostics)
+        return result
 
-    def run_baseline(self, network: ConnectionMatrix, rng: RngLike = None) -> PhysicalDesign:
-        """Execute the physical flow on the FullCro brute-force mapping."""
+    def run_baseline(
+        self,
+        network: ConnectionMatrix,
+        rng: RngLike = None,
+        verify: bool = False,
+    ) -> PhysicalDesign:
+        """Execute the physical flow on the FullCro brute-force mapping.
+
+        ``verify=True`` behaves as in :meth:`run`; the report summary lands
+        in ``design.metadata["diagnostics"]["verification"]``.
+        """
         rng = ensure_rng(rng)
         try:
             mapping = fullcro_mapping(network, library=self.library)
         except Exception as exc:
             raise StageError("mapping", f"{type(exc).__name__}: {exc}") from exc
-        return implement_mapping(mapping, self.config, rng=rng)
+        design = implement_mapping(mapping, self.config, rng=rng)
+        if verify:
+            _verify_design(design, design.metadata.get("diagnostics", {}))
+        return design
 
     def compare(
         self,

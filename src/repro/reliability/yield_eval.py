@@ -186,12 +186,19 @@ def execute_trial(
     spare_instances: int = 0,
     model: NonIdealityModel = IDEAL,
     program: Optional[HybridProgram] = None,
+    assert_legal: bool = False,
 ) -> TrialOutcome:
     """Measure one sampled chip: defect map → raw recall → repair → recall.
 
     ``program`` is the precompiled defect-independent programming of
     ``mapping`` (compiled on the fly when omitted, e.g. in a worker
     process that received only the mapping).
+
+    ``assert_legal=True`` runs the independent coverage + hardware checks
+    of :mod:`repro.verify` on the repaired mapping — every connection
+    still realized exactly once and no connection left on a dead cell of
+    its bound physical crossbar — raising
+    :class:`~repro.verify.VerificationError` on violation.
     """
     if program is None:
         program = HybridProgram.compile(mapping, hopfield.weights)
@@ -214,6 +221,12 @@ def execute_trial(
         rng=spec.probe_seed,
     )
     repaired, report = repair_mapping(mapping, defect_map)
+    if assert_legal:
+        # Imported lazily so worker processes that never assert skip the
+        # verifier import entirely.
+        from repro.verify import verify_mapping
+
+        verify_mapping(repaired, checks=("coverage", "hardware")).raise_if_failed()
     rep_sim = HybridNcsSimulator(
         repaired,
         signed_weights=hopfield.weights,
@@ -251,6 +264,7 @@ def evaluate_yield(
     rng: RngLike = None,
     n_jobs: int = 1,
     events=None,
+    assert_legal: bool = False,
 ) -> YieldCurve:
     """Monte-Carlo yield of ``mapping`` under defects, before/after repair.
 
@@ -275,6 +289,10 @@ def evaluate_yield(
     events:
         Optional :class:`repro.runtime.EventLog` receiving per-trial
         job events.
+    assert_legal:
+        Run the independent post-repair legality checks (coverage +
+        hardware, see :mod:`repro.verify`) on every repaired chip and
+        raise :class:`~repro.verify.VerificationError` on violation.
     """
     if hopfield.size != mapping.network.size:
         raise ValueError(
@@ -294,6 +312,7 @@ def evaluate_yield(
         trials_per_pattern=trials_per_pattern,
         spare_instances=spare_instances,
         model=model,
+        assert_legal=assert_legal,
     )
     if n_jobs == 1:
         # The defect-independent programming of the mapped design is
@@ -357,5 +376,6 @@ def evaluate_yield(
             "flip_fraction": flip_fraction,
             "trials_per_pattern": trials_per_pattern,
             "n_jobs": n_jobs,
+            "assert_legal": assert_legal,
         },
     )

@@ -1,0 +1,51 @@
+"""Independent end-to-end verification of mapped designs (extension).
+
+The flow in :mod:`repro.core` *produces* hybrid mappings and layouts; this
+package *checks* them, re-deriving every claimed invariant from the source
+:class:`~repro.networks.connection_matrix.ConnectionMatrix` and the flow
+artifacts without trusting the code that built them:
+
+* **coverage** — every source connection is realized exactly once across
+  crossbar cells and discrete synapses, and nothing extra is realized;
+* **hardware** — crossbar sizes come from the configured library, cluster
+  geometry and capacities are respected, the netlist agrees with the
+  mapping, and repair/spare bindings are consistent with the defect map;
+* **physical** — placed cells are finite, on-chip and non-overlapping
+  post-legalization, and every routed wire connects its true pin bins
+  without breaking the routing grid's capacity accounting;
+* **functional** — the hybrid simulation of the mapped design reproduces
+  the ideal network (``y = x @ W`` and Hopfield recall) within tolerance.
+
+Entry points: :func:`verify_mapping` / :func:`verify_flow` return a
+structured :class:`VerificationReport`; ``python -m repro verify`` exposes
+the same checks on the command line, and ``AutoNCS.run(..., verify=True)``
+runs them inline after the flow.
+"""
+
+from repro.verify.checks import (
+    check_coverage,
+    check_functional,
+    check_hardware,
+    check_physical,
+)
+from repro.verify.report import (
+    CheckResult,
+    VerificationError,
+    VerificationReport,
+    Violation,
+)
+from repro.verify.verifier import CHECK_NAMES, verify_flow, verify_mapping
+
+__all__ = [
+    "CHECK_NAMES",
+    "CheckResult",
+    "VerificationError",
+    "VerificationReport",
+    "Violation",
+    "check_coverage",
+    "check_functional",
+    "check_hardware",
+    "check_physical",
+    "verify_flow",
+    "verify_mapping",
+]

@@ -1,0 +1,678 @@
+"""The four verification checks (coverage, hardware, physical, functional).
+
+Every check is read-only and *independent*: it re-derives the invariant
+from the source network and the artifact under test instead of trusting
+intermediate bookkeeping (``MappingResult.validate`` uses ``assert`` and
+is part of the producing code; these checks survive ``python -O`` and a
+buggy producer alike).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mapping.netlist import CellKind, MappingResult
+from repro.physical.layout import Placement
+from repro.utils.rng import RngLike, ensure_rng
+from repro.verify.report import CheckResult, Violation
+
+#: Per-category cap on individually reported violations; the remainder is
+#: folded into one summarizing violation so reports stay readable (and
+#: report objects stay small) even for catastrophically broken inputs.
+MAX_DETAILED_VIOLATIONS = 25
+
+
+def _add_capped(
+    violations: List[Violation],
+    check: str,
+    items: Iterable[str],
+    summary: str,
+    context: Optional[dict] = None,
+) -> int:
+    """Append one violation per item up to the cap, then a rollup line."""
+    items = list(items)
+    for message in items[:MAX_DETAILED_VIOLATIONS]:
+        violations.append(Violation(check=check, message=message, context=context or {}))
+    hidden = len(items) - MAX_DETAILED_VIOLATIONS
+    if hidden > 0:
+        violations.append(
+            Violation(
+                check=check,
+                message=f"{summary}: {hidden} further case(s) beyond the first "
+                f"{MAX_DETAILED_VIOLATIONS}",
+                context={"hidden": hidden, **(context or {})},
+            )
+        )
+    return len(items)
+
+
+# ----------------------------------------------------------------------
+# 1. Coverage — the mapping realizes the network, exactly
+# ----------------------------------------------------------------------
+def check_coverage(mapping: MappingResult) -> CheckResult:
+    """Every source connection realized exactly once; nothing extra.
+
+    Re-counts realization from scratch: the multiset of connections over
+    all crossbar instances plus all discrete synapses must equal the set
+    of 1-entries of the source connection matrix.
+    """
+    violations: List[Violation] = []
+    realized: Counter = Counter()
+    for index, instance in enumerate(mapping.instances):
+        for pair in instance.connections:
+            realized[tuple(int(v) for v in pair)] += 1
+    crossbar_realized = sum(realized.values())
+    for pair in mapping.synapse_connections:
+        realized[tuple(int(v) for v in pair)] += 1
+
+    expected = set(mapping.network.connection_list())
+    duplicated = sorted(pair for pair, count in realized.items() if count > 1)
+    missing = sorted(expected - set(realized))
+    extra = sorted(set(realized) - expected)
+
+    _add_capped(
+        violations,
+        "coverage",
+        (f"connection {pair} realized {realized[pair]} times" for pair in duplicated),
+        "double-realized connections",
+    )
+    _add_capped(
+        violations,
+        "coverage",
+        (f"connection {pair} of the network is not realized anywhere" for pair in missing),
+        "unrealized connections",
+    )
+    _add_capped(
+        violations,
+        "coverage",
+        (
+            f"realized connection {pair} does not exist in network "
+            f"{mapping.network.name!r}"
+            for pair in extra
+        ),
+        "phantom connections",
+    )
+    return CheckResult(
+        name="coverage",
+        violations=violations,
+        stats={
+            "expected": len(expected),
+            "realized_crossbar": crossbar_realized,
+            "realized_synapse": len(mapping.synapse_connections),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# 2. Hardware legality — library sizes, geometry, netlist, defect binding
+# ----------------------------------------------------------------------
+def _check_instances(mapping: MappingResult, violations: List[Violation]) -> None:
+    n = mapping.network.size
+    for index, instance in enumerate(mapping.instances):
+        if instance.size not in mapping.library:
+            violations.append(
+                Violation(
+                    "hardware",
+                    f"crossbar {index} has size {instance.size}, not in the "
+                    f"library {mapping.library.sizes}",
+                    {"instance": index, "size": instance.size},
+                )
+            )
+        if len(instance.rows) > instance.size or len(instance.cols) > instance.size:
+            violations.append(
+                Violation(
+                    "hardware",
+                    f"crossbar {index} hosts {len(instance.rows)} rows / "
+                    f"{len(instance.cols)} cols on a size-{instance.size} array",
+                    {"instance": index},
+                )
+            )
+        if len(set(instance.rows)) != len(instance.rows) or len(set(instance.cols)) != len(
+            instance.cols
+        ):
+            violations.append(
+                Violation(
+                    "hardware",
+                    f"crossbar {index} assigns a neuron to more than one "
+                    "row or column port",
+                    {"instance": index},
+                )
+            )
+        out_of_range = [
+            neuron
+            for neuron in (*instance.rows, *instance.cols)
+            if not 0 <= int(neuron) < n
+        ]
+        if out_of_range:
+            violations.append(
+                Violation(
+                    "hardware",
+                    f"crossbar {index} references neurons {sorted(set(out_of_range))} "
+                    f"outside [0, {n})",
+                    {"instance": index},
+                )
+            )
+        row_set = set(instance.rows)
+        col_set = set(instance.cols)
+        bad_cells = [
+            pair
+            for pair in instance.connections
+            if pair[0] not in row_set or pair[1] not in col_set
+        ]
+        _add_capped(
+            violations,
+            "hardware",
+            (
+                f"crossbar {index}: connection {pair} uses a neuron with no "
+                "row/column port on this array"
+                for pair in bad_cells
+            ),
+            f"crossbar {index} portless connections",
+            {"instance": index},
+        )
+        if len(instance.connections) > instance.size * instance.size:
+            violations.append(
+                Violation(
+                    "hardware",
+                    f"crossbar {index} claims {len(instance.connections)} cells "
+                    f"on a size-{instance.size} array (capacity "
+                    f"{instance.size * instance.size})",
+                    {"instance": index},
+                )
+            )
+    for index, (i, j) in enumerate(mapping.synapse_connections):
+        if not (0 <= int(i) < n and 0 <= int(j) < n):
+            violations.append(
+                Violation(
+                    "hardware",
+                    f"discrete synapse {index} connects ({i}, {j}) outside [0, {n})",
+                    {"synapse": index},
+                )
+            )
+
+
+def _check_netlist(mapping: MappingResult, violations: List[Violation]) -> None:
+    """The physical netlist must agree with the logical mapping."""
+    netlist = mapping.netlist
+    n = mapping.network.size
+    expected_cells = n + mapping.num_crossbars + mapping.num_synapses
+    if netlist.num_cells != expected_cells:
+        violations.append(
+            Violation(
+                "hardware",
+                f"netlist has {netlist.num_cells} cells, mapping implies "
+                f"{expected_cells} (={n} neurons + {mapping.num_crossbars} "
+                f"crossbars + {mapping.num_synapses} synapses)",
+                {},
+            )
+        )
+        return  # per-kind checks below assume the cell layout
+    kinds = Counter(cell.kind for cell in netlist.cells)
+    for kind, expected in (
+        (CellKind.NEURON, n),
+        (CellKind.CROSSBAR, mapping.num_crossbars),
+        (CellKind.SYNAPSE, mapping.num_synapses),
+    ):
+        if kinds.get(kind, 0) != expected:
+            violations.append(
+                Violation(
+                    "hardware",
+                    f"netlist has {kinds.get(kind, 0)} {kind.value} cell(s), "
+                    f"mapping implies {expected}",
+                    {"kind": kind.value},
+                )
+            )
+    expected_wires = (
+        sum(len(x.rows) + len(x.cols) for x in mapping.instances)
+        + 2 * mapping.num_synapses
+    )
+    if netlist.num_wires != expected_wires:
+        violations.append(
+            Violation(
+                "hardware",
+                f"netlist has {netlist.num_wires} wires, mapping implies "
+                f"{expected_wires} (crossbar ports + 2 per synapse)",
+                {},
+            )
+        )
+    # Crossbar cell footprints must come from the library spec of their size.
+    crossbar_cells = [c for c in netlist.cells if c.kind == CellKind.CROSSBAR]
+    for index, (cell, instance) in enumerate(zip(crossbar_cells, mapping.instances)):
+        spec = None
+        if instance.size in mapping.library:
+            spec = mapping.library.spec(instance.size)
+        if spec is not None and not (
+            np.isclose(cell.width, spec.side_um) and np.isclose(cell.height, spec.side_um)
+        ):
+            violations.append(
+                Violation(
+                    "hardware",
+                    f"crossbar cell {cell.name!r} measures {cell.width:.3f}×"
+                    f"{cell.height:.3f} µm, library size {instance.size} "
+                    f"specifies {spec.side_um:.3f} µm",
+                    {"instance": index},
+                )
+            )
+
+
+def _check_defect_binding(mapping: MappingResult, violations: List[Violation]) -> None:
+    """Repair/spare bindings must stay consistent with the defect map."""
+    defect_map = mapping.metadata.get("defect_map")
+    binding = mapping.metadata.get("physical_binding")
+    if defect_map is None:
+        if binding is not None:
+            violations.append(
+                Violation(
+                    "hardware",
+                    "mapping records a physical_binding but carries no defect map",
+                    {},
+                )
+            )
+        return
+    if defect_map.num_instances < mapping.num_crossbars:
+        violations.append(
+            Violation(
+                "hardware",
+                f"defect map covers {defect_map.num_instances} physical "
+                f"crossbar(s), mapping places {mapping.num_crossbars}",
+                {},
+            )
+        )
+        return
+    if binding is not None and len(binding) != mapping.num_crossbars:
+        violations.append(
+            Violation(
+                "hardware",
+                f"physical_binding lists {len(binding)} crossbar(s), mapping "
+                f"places {mapping.num_crossbars}",
+                {},
+            )
+        )
+    from repro.reliability.defects import lost_connections
+
+    for index, instance in enumerate(mapping.instances):
+        defects = defect_map.instances[index]
+        if defects.size < instance.size:
+            violations.append(
+                Violation(
+                    "hardware",
+                    f"crossbar {index} (size {instance.size}) is bound to a "
+                    f"physical array of size {defects.size}",
+                    {"instance": index},
+                )
+            )
+            continue
+        if binding is None:
+            # Unrepaired mapping: dead cells may still carry connections.
+            continue
+        dead = lost_connections(instance, defects)
+        _add_capped(
+            violations,
+            "hardware",
+            (
+                f"repaired crossbar {index}: connection {pair} still sits on a "
+                "dead cell of its bound physical array"
+                for pair in dead
+            ),
+            f"repaired crossbar {index} dead-cell connections",
+            {"instance": index},
+        )
+
+
+def check_hardware(mapping: MappingResult) -> CheckResult:
+    """Library sizes, cluster geometry, netlist and defect-map consistency."""
+    violations: List[Violation] = []
+    _check_instances(mapping, violations)
+    _check_netlist(mapping, violations)
+    _check_defect_binding(mapping, violations)
+    return CheckResult(
+        name="hardware",
+        violations=violations,
+        stats={
+            "crossbars": mapping.num_crossbars,
+            "synapses": mapping.num_synapses,
+            "library": tuple(mapping.library.sizes),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. Physical legality — placement on-chip & overlap-free, routing sound
+# ----------------------------------------------------------------------
+def _check_placement(
+    mapping: MappingResult,
+    placement: Placement,
+    violations: List[Violation],
+    overlap_tolerance: float,
+) -> None:
+    netlist = mapping.netlist
+    if placement.num_cells != netlist.num_cells:
+        violations.append(
+            Violation(
+                "physical",
+                f"placement holds {placement.num_cells} cells, netlist has "
+                f"{netlist.num_cells}",
+                {},
+            )
+        )
+        return
+    if not (np.all(np.isfinite(placement.x)) and np.all(np.isfinite(placement.y))):
+        bad = int(
+            np.count_nonzero(~np.isfinite(placement.x))
+            + np.count_nonzero(~np.isfinite(placement.y))
+        )
+        violations.append(
+            Violation(
+                "physical",
+                f"placement has {bad} non-finite coordinate(s)",
+                {"non_finite": bad},
+            )
+        )
+        return
+    if not (
+        np.allclose(placement.widths, netlist.widths())
+        and np.allclose(placement.heights, netlist.heights())
+    ):
+        violations.append(
+            Violation(
+                "physical",
+                "placement cell dimensions disagree with the netlist footprints",
+                {},
+            )
+        )
+    ratio = placement.overlap_ratio()
+    if ratio > overlap_tolerance:
+        violations.append(
+            Violation(
+                "physical",
+                f"post-legalization cell overlap is {ratio:.4%} of total cell "
+                f"area (tolerance {overlap_tolerance:.4%})",
+                {"overlap_ratio": ratio},
+            )
+        )
+
+
+def _recompute_usage(grid, paths) -> Tuple[np.ndarray, np.ndarray]:
+    """Independent edge-usage tally from the committed paths."""
+    horizontal = np.zeros_like(grid.horizontal_usage)
+    vertical = np.zeros_like(grid.vertical_usage)
+    for path in paths:
+        for a, b in zip(path, path[1:]):
+            kind, ex, ey = grid.edge_between(a, b)
+            if kind == "h":
+                horizontal[ex, ey] += 1
+            else:
+                vertical[ex, ey] += 1
+    return horizontal, vertical
+
+
+def _check_routing(
+    mapping: MappingResult,
+    placement: Placement,
+    routing,
+    violations: List[Violation],
+) -> None:
+    netlist = mapping.netlist
+    grid = routing.grid
+    indices = [w.wire_index for w in routing.wires]
+    index_counts = Counter(indices)
+    duplicates = sorted(i for i, c in index_counts.items() if c > 1)
+    missing = sorted(set(range(netlist.num_wires)) - set(indices))
+    unknown = sorted(i for i in index_counts if not 0 <= i < netlist.num_wires)
+    _add_capped(
+        violations,
+        "physical",
+        (f"wire {i} is routed {index_counts[i]} times" for i in duplicates),
+        "multiply-routed wires",
+    )
+    _add_capped(
+        violations,
+        "physical",
+        (f"wire {i} ({netlist.wires[i].name!r}) has no route" for i in missing),
+        "unrouted wires",
+    )
+    _add_capped(
+        violations,
+        "physical",
+        (f"routed wire index {i} does not exist in the netlist" for i in unknown),
+        "unknown wire indices",
+    )
+
+    # On-chip containment: every cell extent inside the routed region.
+    x0, y0 = grid.origin
+    x1 = x0 + grid.nx * grid.bin_um
+    y1 = y0 + grid.ny * grid.bin_um
+    eps = 1e-6
+    if placement.num_cells == netlist.num_cells:
+        half_w = placement.widths / 2.0
+        half_h = placement.heights / 2.0
+        outside = np.nonzero(
+            (placement.x - half_w < x0 - eps)
+            | (placement.x + half_w > x1 + eps)
+            | (placement.y - half_h < y0 - eps)
+            | (placement.y + half_h > y1 + eps)
+        )[0]
+        _add_capped(
+            violations,
+            "physical",
+            (
+                f"cell {netlist.cells[i].name!r} extends outside the chip "
+                f"region [{x0:.1f}, {x1:.1f}]×[{y0:.1f}, {y1:.1f}] µm"
+                for i in outside
+            ),
+            "off-chip cells",
+        )
+
+    pin_mismatches: List[str] = []
+    broken_paths: List[str] = []
+    length_errors: List[str] = []
+    multi_bin_paths = []
+    for routed in routing.wires:
+        if not 0 <= routed.wire_index < netlist.num_wires or not routed.path:
+            if not routed.path:
+                broken_paths.append(f"wire {routed.wire_index} has an empty path")
+            continue
+        wire = netlist.wires[routed.wire_index]
+        sx, sy = placement.x[wire.source], placement.y[wire.source]
+        tx, ty = placement.x[wire.target], placement.y[wire.target]
+        start = grid.bin_of(float(sx), float(sy))
+        goal = grid.bin_of(float(tx), float(ty))
+        path = [tuple(b) for b in routed.path]
+        if len(path) == 1:
+            if start != goal or path[0] != start:
+                pin_mismatches.append(
+                    f"wire {routed.wire_index} ({wire.name!r}) claims a same-bin "
+                    f"route at {path[0]} but its pins sit in {start} and {goal}"
+                )
+            expected_length = abs(sx - tx) + abs(sy - ty)
+        else:
+            if path[0] != start or path[-1] != goal:
+                pin_mismatches.append(
+                    f"wire {routed.wire_index} ({wire.name!r}) routes "
+                    f"{path[0]}→{path[-1]} but its pins sit in {start} and {goal}"
+                )
+            adjacency_ok = True
+            for a, b in zip(path, path[1:]):
+                if abs(a[0] - b[0]) + abs(a[1] - b[1]) != 1:
+                    adjacency_ok = False
+                    break
+                if not (0 <= b[0] < grid.nx and 0 <= b[1] < grid.ny):
+                    adjacency_ok = False
+                    break
+            if not adjacency_ok:
+                broken_paths.append(
+                    f"wire {routed.wire_index} ({wire.name!r}) has a "
+                    "non-contiguous or off-grid bin path"
+                )
+                continue
+            multi_bin_paths.append(path)
+            expected_length = grid.path_length_um(path)
+        if abs(routed.length_um - expected_length) > 1e-6 + 1e-9 * expected_length:
+            length_errors.append(
+                f"wire {routed.wire_index} records length {routed.length_um:.3f} µm, "
+                f"its path measures {expected_length:.3f} µm"
+            )
+    _add_capped(violations, "physical", pin_mismatches, "pin-set mismatches")
+    _add_capped(violations, "physical", broken_paths, "broken paths")
+    _add_capped(violations, "physical", length_errors, "wirelength mismatches")
+
+    # Capacity accounting: the grid's usage counters must equal an
+    # independent tally of the committed paths, and no edge may exceed its
+    # (virtual, possibly relaxed) capacity unless the router explicitly
+    # reported overflow wires.
+    horizontal, vertical = _recompute_usage(grid, multi_bin_paths)
+    if not duplicates and not missing and not unknown and not broken_paths:
+        if not (
+            np.array_equal(horizontal, grid.horizontal_usage)
+            and np.array_equal(vertical, grid.vertical_usage)
+        ):
+            violations.append(
+                Violation(
+                    "physical",
+                    "routing grid usage counters disagree with the committed "
+                    "paths (stale or corrupted congestion bookkeeping)",
+                    {},
+                )
+            )
+    over = int(
+        np.count_nonzero(horizontal > grid.horizontal_capacity)
+        + np.count_nonzero(vertical > grid.vertical_capacity)
+    )
+    if over > 0 and routing.overflow_wires == 0:
+        violations.append(
+            Violation(
+                "physical",
+                f"{over} routing edge(s) exceed their virtual capacity but the "
+                "router reported zero overflow wires",
+                {"edges_over_capacity": over},
+            )
+        )
+
+
+def check_physical(
+    mapping: MappingResult,
+    placement: Placement,
+    routing=None,
+    overlap_tolerance: float = 5e-3,
+) -> CheckResult:
+    """Placement legality plus routing soundness for a placed design.
+
+    ``overlap_tolerance`` bounds residual post-legalization overlap as a
+    fraction of total cell area (the push-apart fallback legalizer accepts
+    up to ~0.5 % virtual overlap; the primary grid-snap path yields 0).
+    """
+    violations: List[Violation] = []
+    _check_placement(mapping, placement, violations, overlap_tolerance)
+    if routing is not None and placement.num_cells == mapping.netlist.num_cells:
+        _check_routing(mapping, placement, routing, violations)
+    stats = {
+        "cells": placement.num_cells,
+        "overlap_ratio": round(placement.overlap_ratio(), 6),
+    }
+    if routing is not None:
+        stats["routed_wires"] = len(routing.wires)
+        stats["overflow_wires"] = routing.overflow_wires
+    return CheckResult(name="physical", violations=violations, stats=stats)
+
+
+# ----------------------------------------------------------------------
+# 4. Functional equivalence — hybrid simulation matches the ideal network
+# ----------------------------------------------------------------------
+def check_functional(
+    mapping: MappingResult,
+    hopfield=None,
+    probes: int = 6,
+    numeric_tolerance: float = 1e-6,
+    max_patterns: int = 5,
+    max_recall_steps: int = 50,
+    rng: RngLike = 0,
+) -> CheckResult:
+    """The mapped hardware computes what the source network computes.
+
+    With an ideal device model the hybrid simulator's differential read is
+    exact, so ``sim.compute(x)`` must match ``x @ W`` to floating-point
+    precision on random ±1 probes.  When a :class:`HopfieldNetwork` is
+    supplied, its weights drive the comparison and stored-pattern recall
+    is additionally replayed: at every step of the software recall
+    trajectory the hardware's activations must numerically match the ideal
+    ``W @ state``.  The comparison deliberately follows the *software*
+    state sequence instead of comparing final recalled states — synchronous
+    Hopfield dynamics are chaotic at exactly-zero activations (Hebbian
+    weights are multiples of 1/N, so ties are common), and a tie broken
+    differently by floating-point summation order would diverge the
+    trajectories without any hardware defect.  Per-step activation
+    equivalence is the invariant the hardware can actually guarantee.
+    """
+    from repro.hardware.simulation import HybridNcsSimulator
+
+    violations: List[Violation] = []
+    n = mapping.network.size
+    if hopfield is not None and hopfield.size != n:
+        violations.append(
+            Violation(
+                "functional",
+                f"hopfield network has {hopfield.size} neurons, mapping has {n}",
+                {},
+            )
+        )
+        return CheckResult(name="functional", violations=violations)
+    weights = (
+        hopfield.weights if hopfield is not None else mapping.network.matrix.astype(float)
+    )
+    simulator = HybridNcsSimulator(mapping, signed_weights=weights)
+    generator = ensure_rng(rng)
+    max_error = 0.0
+    scale = max(1.0, float(np.max(np.abs(weights))) * n)
+    for probe_index in range(max(1, probes)):
+        x = generator.choice([-1.0, 1.0], size=n)
+        ideal = x @ weights
+        actual = simulator.compute(x)
+        error = float(np.max(np.abs(actual - ideal))) / scale
+        max_error = max(max_error, error)
+        if error > numeric_tolerance:
+            violations.append(
+                Violation(
+                    "functional",
+                    f"probe {probe_index}: hardware evaluation deviates from "
+                    f"x @ W by {error:.3e} relative (tolerance "
+                    f"{numeric_tolerance:.1e})",
+                    {"probe": probe_index, "error": error},
+                )
+            )
+    stats = {"probes": probes, "max_relative_error": float(f"{max_error:.3e}")}
+
+    if hopfield is not None and len(hopfield.patterns):
+        from repro.networks.patterns import corrupt_pattern
+
+        worst_recall_error = 0.0
+        steps_walked = 0
+        for pattern_index, pattern in enumerate(hopfield.patterns[:max_patterns]):
+            state = corrupt_pattern(pattern, 0.05, rng=generator).astype(float)
+            for step in range(max_recall_steps):
+                ideal = weights @ state
+                actual = simulator.compute(state)
+                error = float(np.max(np.abs(actual - ideal))) / scale
+                worst_recall_error = max(worst_recall_error, error)
+                steps_walked += 1
+                if error > numeric_tolerance:
+                    violations.append(
+                        Violation(
+                            "functional",
+                            f"pattern {pattern_index}, recall step {step}: "
+                            f"hardware activations deviate from the ideal "
+                            f"network by {error:.3e} relative (tolerance "
+                            f"{numeric_tolerance:.1e})",
+                            {"pattern": pattern_index, "step": step, "error": error},
+                        )
+                    )
+                    break
+                new_state = np.where(ideal >= 0.0, 1.0, -1.0)
+                if np.array_equal(new_state, state):
+                    break
+                state = new_state
+        stats["recall_steps"] = steps_walked
+        stats["max_recall_error"] = float(f"{worst_recall_error:.3e}")
+    return CheckResult(name="functional", violations=violations, stats=stats)

@@ -1,0 +1,147 @@
+"""Structured verification outcomes: violations, per-check results, reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One concrete broken invariant.
+
+    Attributes
+    ----------
+    check:
+        Name of the check that found it (``"coverage"``, ``"hardware"``,
+        ``"physical"`` or ``"functional"``).
+    message:
+        A pointed, human-readable description naming the offending object
+        (connection pair, instance index, wire index, …).
+    context:
+        Machine-readable details for tests and tooling.
+    """
+
+    check: str
+    message: str
+    context: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.message}"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one verification check."""
+
+    name: str
+    violations: List[Violation] = field(default_factory=list)
+    stats: Dict[str, object] = field(default_factory=dict)
+    skipped: bool = False
+    reason: str = ""
+
+    @property
+    def passed(self) -> bool:
+        """True when the check ran and found no violations."""
+        return not self.skipped and not self.violations
+
+    @property
+    def status(self) -> str:
+        """``"pass"``, ``"fail"`` or ``"skip"``."""
+        if self.skipped:
+            return "skip"
+        return "pass" if not self.violations else "fail"
+
+
+class VerificationError(RuntimeError):
+    """A verification run found violations.
+
+    Carries the full :class:`VerificationReport` as ``.report`` so callers
+    can inspect exactly which invariants broke.
+    """
+
+    def __init__(self, report: "VerificationReport") -> None:
+        failed = ", ".join(c.name for c in report.checks if c.status == "fail")
+        first = report.violations[0] if report.violations else None
+        detail = f"; first violation: {first}" if first is not None else ""
+        super().__init__(
+            f"verification of {report.target!r} failed "
+            f"({len(report.violations)} violation(s) in: {failed}){detail}"
+        )
+        self.report = report
+
+
+@dataclass
+class VerificationReport:
+    """Every check's outcome for one verified design.
+
+    ``passed`` requires every executed check to be clean; skipped checks
+    (e.g. the physical check when no placement/routing was supplied) do
+    not fail the report but are visible in :meth:`format`.
+    """
+
+    target: str
+    checks: List[CheckResult] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        """True when no executed check found a violation."""
+        return all(c.status != "fail" for c in self.checks)
+
+    @property
+    def violations(self) -> List[Violation]:
+        """All violations over all checks, in check order."""
+        return [v for c in self.checks for v in c.violations]
+
+    def check(self, name: str) -> CheckResult:
+        """Look up one check's result by name."""
+        for result in self.checks:
+            if result.name == name:
+                return result
+        raise KeyError(
+            f"no check named {name!r} in this report "
+            f"(have: {[c.name for c in self.checks]})"
+        )
+
+    def raise_if_failed(self) -> "VerificationReport":
+        """Raise :class:`VerificationError` when any check failed; else self."""
+        if not self.passed:
+            raise VerificationError(self)
+        return self
+
+    def summary(self) -> Dict[str, object]:
+        """Scalar summary for result metadata and logs."""
+        return {
+            "target": self.target,
+            "passed": self.passed,
+            "violations": len(self.violations),
+            "checks": {c.name: c.status for c in self.checks},
+        }
+
+    def format(self, max_violations_per_check: Optional[int] = 10) -> str:
+        """Readable multi-line report (CLI output).
+
+        ``max_violations_per_check`` truncates long violation lists per
+        check (``None`` prints everything).
+        """
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [f"verification of {self.target}: {verdict}"]
+        for result in self.checks:
+            marker = {"pass": "ok  ", "fail": "FAIL", "skip": "skip"}[result.status]
+            stats = ""
+            if result.stats:
+                stats = "  (" + ", ".join(
+                    f"{k}={v}" for k, v in sorted(result.stats.items())
+                ) + ")"
+            note = f"  [{result.reason}]" if result.skipped and result.reason else ""
+            lines.append(f"  {marker}  {result.name:<10}{stats}{note}")
+            shown = result.violations
+            if max_violations_per_check is not None:
+                shown = shown[:max_violations_per_check]
+            for violation in shown:
+                lines.append(f"        - {violation.message}")
+            hidden = len(result.violations) - len(shown)
+            if hidden > 0:
+                lines.append(f"        … and {hidden} more violation(s)")
+        return "\n".join(lines)

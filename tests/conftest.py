@@ -1,13 +1,42 @@
-"""Shared fixtures: small, fast networks and pre-run flows."""
+"""Shared fixtures: small, fast networks, pre-run flows, hypothesis profiles."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.clustering import iterative_spectral_clustering
 from repro.mapping import autoncs_mapping, fullcro_mapping, fullcro_utilization
 from repro.networks import block_diagonal_network, random_sparse_network
+
+# Hypothesis profiles: "dev" (default) explores freely; "ci" is fully
+# deterministic — derandomized, database-free — so a CI failure reproduces
+# locally with HYPOTHESIS_PROFILE=ci and nothing depends on cached example
+# state.  Select with the HYPOTHESIS_PROFILE environment variable.
+settings.register_profile("dev", deadline=None)
+settings.register_profile(
+    "ci", deadline=None, derandomize=True, database=None, print_blob=True
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden regression fixtures under tests/golden/ "
+        "with freshly measured metrics instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request):
+    """True when the run should refresh golden fixtures, not assert them."""
+    return request.config.getoption("--update-golden")
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,98 @@
+"""Ablation studies: each variant runs, stays internally consistent, and
+the table renderer reports every configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationPoint,
+    ablate_library_range,
+    ablate_partial_selection,
+    ablate_preference_definition,
+    format_ablation,
+)
+from repro.verify import verify_mapping
+
+
+def _check_points(points, expected_labels):
+    assert [p.label for p in points] == expected_labels
+    for p in points:
+        assert isinstance(p, AblationPoint)
+        assert p.iterations >= 1
+        assert p.crossbars >= 0 and p.synapses >= 0
+        assert 0.0 <= p.outlier_ratio <= 1.0
+        assert 0.0 <= p.average_utilization <= 1.0
+        assert p.average_fanin_fanout >= 0.0
+
+
+def test_partial_selection_variants(block_network):
+    points = ablate_partial_selection(block_network, rng=5)
+    _check_points(points, [
+        "top-25% CP (paper)",
+        "top-50% CP",
+        "all clusters (no partial selection)",
+    ])
+
+
+def test_preference_definition_variants(block_network):
+    points = ablate_preference_definition(block_network, rng=5)
+    _check_points(points, [
+        "CP = m^2/s^3 (paper)",
+        "CP = u = m/s^2",
+        "CP = m",
+    ])
+
+
+def test_library_range_variants(block_network):
+    points = ablate_library_range(block_network, rng=5)
+    _check_points(points, [
+        "16..64 step 4 (paper)",
+        "only 64",
+        "8..64 step 8",
+    ])
+
+
+def test_ablations_are_deterministic(block_network):
+    first = ablate_partial_selection(block_network, rng=9)
+    second = ablate_partial_selection(block_network, rng=9)
+    assert first == second
+
+
+@pytest.mark.parametrize("quantile", [0.75, 0.5, 1e-9])
+def test_ablation_mappings_pass_verifier(block_network, quantile):
+    """Every ablated clustering still yields a legal, complete mapping.
+
+    Reconstructs the mapping exactly as the ablation driver does and runs
+    it through the independent coverage + hardware checks.
+    """
+    from repro.clustering.isc import (
+        DEFAULT_CROSSBAR_SIZES,
+        iterative_spectral_clustering,
+    )
+    from repro.clustering.preference import crossbar_preference
+    from repro.mapping.autoncs_mapping import autoncs_mapping
+    from repro.mapping.fullcro import fullcro_utilization
+
+    threshold = fullcro_utilization(block_network, 64)
+    isc = iterative_spectral_clustering(
+        block_network,
+        sizes=DEFAULT_CROSSBAR_SIZES,
+        utilization_threshold=threshold,
+        selection_quantile=quantile,
+        preference=crossbar_preference,
+        rng=3,
+    )
+    mapping = autoncs_mapping(isc)
+    report = verify_mapping(mapping, checks=("coverage", "hardware"))
+    assert report.passed, report.format()
+
+
+def test_format_ablation_lists_every_configuration(block_network):
+    points = ablate_library_range(block_network, rng=5)
+    table = format_ablation(points)
+    lines = table.splitlines()
+    assert len(lines) == 1 + len(points)
+    assert "configuration" in lines[0] and "avg util" in lines[0]
+    for p in points:
+        assert any(p.label in line for line in lines[1:])

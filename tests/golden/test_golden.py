@@ -1,0 +1,107 @@
+"""Golden regression fixtures: frozen flow metrics for the three testbenches.
+
+Each ``tb{1,2,3}.json`` freezes the key metrics of one scaled paper
+testbench run end to end — wirelength, area, delay, crossbar/synapse
+counts, recognition rate — with an explicit per-metric tolerance.  The
+tolerances absorb benign numeric variation (BLAS reduction order, scipy
+eigensolver updates) while catching silent structural drift in clustering,
+placement or routing cost.
+
+Refresh intentionally with ``pytest tests/golden --update-golden`` and
+commit the diff; the EXPERIMENTS.md policy note explains when that is
+legitimate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import AutoNCS
+from repro.experiments.testbenches import build_testbench, scaled_testbench
+
+GOLDEN_DIR = Path(__file__).parent
+
+#: Frozen run parameters — changing any of these invalidates the fixtures.
+DIMENSION = 120
+NETWORK_SEED = 31
+FLOW_SEED = 17
+PROBE_SEED = 7
+
+#: Per-metric tolerances.  Counts get small absolute slack; continuous
+#: physical metrics get relative slack; the recognition rate is a small
+#: Monte-Carlo estimate, so it gets the widest absolute band.
+TOLERANCES = {
+    "connections": {"atol": 0},
+    "crossbars": {"atol": 2},
+    "synapses": {"atol": 40},
+    "wirelength_um": {"rtol": 0.15},
+    "area_um2": {"rtol": 0.15},
+    "delay_ns": {"rtol": 0.15},
+    "recognition_rate": {"atol": 0.08},
+}
+
+
+def _measure(index: int) -> dict:
+    tb = build_testbench(scaled_testbench(index, DIMENSION), rng=NETWORK_SEED)
+    flow = AutoNCS().run(tb.network, rng=FLOW_SEED, verify=True)
+    summary = flow.design.summary()
+    return {
+        "connections": tb.network.num_connections,
+        "crossbars": flow.mapping.num_crossbars,
+        "synapses": flow.mapping.num_synapses,
+        "wirelength_um": summary["wirelength_um"],
+        "area_um2": summary["area_um2"],
+        "delay_ns": summary["delay_ns"],
+        "recognition_rate": tb.recognition_rate(
+            rng=PROBE_SEED, trials_per_pattern=2
+        ),
+    }
+
+
+def _golden_path(index: int) -> Path:
+    return GOLDEN_DIR / f"tb{index}.json"
+
+
+@pytest.mark.parametrize("index", [1, 2, 3])
+def test_testbench_metrics_match_golden(index, update_golden):
+    measured = _measure(index)
+    path = _golden_path(index)
+    if update_golden:
+        payload = {
+            "testbench": index,
+            "dimension": DIMENSION,
+            "network_seed": NETWORK_SEED,
+            "flow_seed": FLOW_SEED,
+            "probe_seed": PROBE_SEED,
+            "metrics": {
+                name: {"value": value, **TOLERANCES[name]}
+                for name, value in measured.items()
+            },
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"golden fixture rewritten: {path.name}")
+    assert path.exists(), (
+        f"{path} is missing — generate it with "
+        "`pytest tests/golden --update-golden`"
+    )
+    golden = json.loads(path.read_text())
+    assert golden["dimension"] == DIMENSION and golden["flow_seed"] == FLOW_SEED
+    failures = []
+    for name, spec in golden["metrics"].items():
+        expected = spec["value"]
+        actual = measured[name]
+        atol = spec.get("atol", 0.0)
+        rtol = spec.get("rtol", 0.0)
+        bound = atol + rtol * abs(expected)
+        if abs(actual - expected) > bound:
+            failures.append(
+                f"{name}: measured {actual!r}, golden {expected!r} "
+                f"(tolerance ±{bound:g})"
+            )
+    assert not failures, (
+        f"tb{index} drifted from its golden fixture:\n  " + "\n  ".join(failures)
+        + "\n(if the drift is intentional, refresh with --update-golden)"
+    )

@@ -1,0 +1,100 @@
+"""EventLog and ProgressPrinter in isolation (Runner wiring lives in
+test_runner.py)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro.runtime.events import EventLog, ProgressPrinter
+
+
+def test_emit_returns_and_records_full_record():
+    log = EventLog()
+    record = log.emit("job_started", label="n=40 d=0.1", index=3)
+    assert record["event"] == "job_started"
+    assert record["label"] == "n=40 d=0.1"
+    assert record["index"] == 3
+    assert isinstance(record["ts"], float)
+    assert log.events == [record]
+
+
+def test_of_kind_preserves_emission_order():
+    log = EventLog()
+    log.emit("job_started", index=0)
+    log.emit("job_finished", index=0)
+    log.emit("job_started", index=1)
+    log.emit("job_finished", index=1)
+    finished = log.of_kind("job_finished")
+    assert [r["index"] for r in finished] == [0, 1]
+    assert log.of_kind("sweep_finished") == []
+
+
+def test_trace_file_round_trips_every_event(tmp_path):
+    trace = tmp_path / "nested" / "trace.jsonl"
+    with EventLog(trace_path=trace) as log:
+        log.emit("sweep_started", jobs=2, n_jobs=1)
+        log.emit("job_finished", index=0, label="a", seconds=0.5, cache_hit=False)
+        log.emit("sweep_finished", executed=2, cache_hits=0, seconds=1.0)
+    lines = trace.read_text().splitlines()
+    assert len(lines) == 3
+    parsed = [json.loads(line) for line in lines]
+    assert parsed == log.events  # canonical JSON loses nothing
+
+
+def test_trace_file_appends_across_reopens(tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    with EventLog(trace_path=trace) as log:
+        log.emit("sweep_started", jobs=1)
+    with EventLog(trace_path=trace) as log:
+        log.emit("sweep_finished", executed=1)
+    events = [json.loads(line)["event"] for line in trace.read_text().splitlines()]
+    assert events == ["sweep_started", "sweep_finished"]
+
+
+def test_close_keeps_memory_log_readable(tmp_path):
+    log = EventLog(trace_path=tmp_path / "trace.jsonl")
+    log.emit("sweep_started", jobs=1)
+    log.close()
+    log.close()  # idempotent
+    record = log.emit("sweep_finished", executed=1)  # no trace, still recorded
+    assert record in log.events
+    assert len((tmp_path / "trace.jsonl").read_text().splitlines()) == 1
+
+
+def test_printer_receives_every_record():
+    seen = []
+    log = EventLog(printer=seen.append)
+    log.emit("sweep_started", jobs=1)
+    log.emit("sweep_finished", executed=1)
+    assert seen == log.events
+
+
+def test_progress_printer_formats_sweep_lifecycle():
+    stream = io.StringIO()
+    printer = ProgressPrinter(stream=stream)
+    printer({"event": "sweep_started", "jobs": 3, "n_jobs": 2})
+    printer({"event": "job_finished", "label": "n=40 d=0.1", "seconds": 12.408,
+             "cache_hit": False})
+    printer({"event": "job_finished", "label": "n=40 d=0.05", "seconds": 0.0,
+             "cache_hit": True})
+    printer({"event": "job_started", "label": "ignored"})  # no output
+    printer({"event": "sweep_finished", "executed": 2, "cache_hits": 1,
+             "seconds": 12.5})
+    lines = stream.getvalue().splitlines()
+    assert lines[0] == "running 3 job(s), n_jobs=2"
+    assert lines[1].startswith("[1/3] done   n=40 d=0.1")
+    assert lines[1].endswith("12.41s")
+    assert lines[2].startswith("[2/3] cached n=40 d=0.05")
+    assert lines[3] == "finished: 2 executed, 1 cache hit(s), 12.50s wall"
+    assert len(lines) == 4
+
+
+def test_progress_printer_counts_reset_per_sweep():
+    stream = io.StringIO()
+    printer = ProgressPrinter(stream=stream)
+    printer({"event": "job_finished", "label": "x", "seconds": 0.0})
+    assert "[1/?]" in stream.getvalue()  # no sweep_started yet: unknown total
+    printer({"event": "sweep_started", "jobs": 1, "n_jobs": 1})
+    printer({"event": "job_finished", "label": "y", "seconds": 0.0})
+    assert "[1/1]" in stream.getvalue().splitlines()[-1]

@@ -1,0 +1,87 @@
+"""Job construction and SweepSpec seed-spawning contracts.
+
+Runner-level behaviour (caching, events, parallel execution) lives in
+test_runner.py; here we pin the job layer itself: validation, payload
+construction, and the guarantee that every cell's RNG streams are fixed
+at job *construction* — so execution order, subsetting or ``n_jobs``
+cannot perturb what any job computes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import fast_config
+from repro.runtime import Job, Runner, SweepSpec
+
+FAST = fast_config()
+
+
+def spec(**overrides):
+    params = dict(sizes=(30, 36), densities=(0.06, 0.1), seed=23,
+                  kind="fullcro", config=FAST, name="jobs-t")
+    params.update(overrides)
+    return SweepSpec(**params)
+
+
+class TestJob:
+    def test_rejects_empty_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            Job(kind="", label="x")
+
+    def test_cacheable_iff_key_material_present(self):
+        assert not Job(kind="autoncs", label="x").cacheable
+        assert Job(kind="autoncs", label="x", key={"a": 1}).cacheable
+
+
+class TestSweepSpecJobs:
+    def test_normalizes_grid_types_and_length(self):
+        s = spec(sizes=[30.0, 36], densities=[0.06, np.float64(0.1)])
+        assert s.sizes == (30, 36)
+        assert s.densities == (0.06, 0.1)
+        assert len(s) == 4
+        assert len(s.jobs()) == 4
+
+    def test_payload_networks_are_bitwise_reproducible(self):
+        first, second = spec().jobs(), spec().jobs()
+        for a, b in zip(first, second):
+            assert a.label == b.label
+            assert np.array_equal(
+                a.payload["network"].matrix, b.payload["network"].matrix
+            )
+            assert a.payload["network"].name == b.payload["network"].name
+
+    def test_cells_get_distinct_networks(self):
+        jobs = spec().jobs()
+        digests = {job.key["network"] for job in jobs}
+        assert len(digests) == len(jobs)
+
+    def test_flow_streams_are_fixed_at_construction(self):
+        """Each job's seed yields the same stream on every expansion, and
+        the streams of different cells are independent draws."""
+        first, second = spec().jobs(), spec().jobs()
+        draws_first = [
+            np.random.default_rng(job.seed).integers(0, 2**31, size=4).tolist()
+            for job in first
+        ]
+        draws_second = [
+            np.random.default_rng(job.seed).integers(0, 2**31, size=4).tolist()
+            for job in second
+        ]
+        assert draws_first == draws_second
+        assert len({tuple(d) for d in draws_first}) == len(draws_first)
+
+    def test_reseeding_changes_every_stream(self):
+        for a, b in zip(spec().jobs(), spec(seed=24).jobs()):
+            assert a.key["network"] != b.key["network"]
+
+    def test_execution_order_cannot_perturb_results(self):
+        """Running the same jobs reversed produces identical per-cell
+        values — the seeds were spawned per cell at construction."""
+        runner = Runner(n_jobs=1)
+        forward = runner.run(spec().jobs())
+        backward = runner.run(list(reversed(spec().jobs())))
+        by_label_fwd = {r.label: r.value.cost.total for r in forward}
+        by_label_bwd = {r.label: r.value.cost.total for r in backward}
+        assert by_label_fwd == by_label_bwd

@@ -1,0 +1,17 @@
+"""Shared verify-layer fixtures: one fully implemented flow per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AutoNCS
+
+
+@pytest.fixture(scope="session")
+def verified_flow(sparse_network):
+    """A complete AutoNCS flow on the 60-neuron sparse network.
+
+    Session-cached: every mutation test derives a *copy* from it — the
+    artifacts themselves must never be modified in place.
+    """
+    return AutoNCS().run(sparse_network, rng=7)

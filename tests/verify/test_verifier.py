@@ -1,0 +1,117 @@
+"""verify_mapping / verify_flow entry points, flow wiring and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core import AutoNCS
+from repro.experiments.testbenches import build_testbench, scaled_testbench
+from repro.reliability.yield_eval import evaluate_yield
+from repro.verify import CHECK_NAMES, verify_flow, verify_mapping
+
+
+def test_check_names_are_canonical():
+    assert CHECK_NAMES == ("coverage", "hardware", "physical", "functional")
+
+
+def test_verify_flow_green_on_autoncs(verified_flow):
+    report = verify_flow(verified_flow)
+    assert report.passed
+    assert [c.name for c in report.checks] == list(CHECK_NAMES)
+    assert all(c.status == "pass" for c in report.checks)
+    assert report.metadata["neurons"] == verified_flow.mapping.network.size
+
+
+def test_verify_flow_green_on_fullcro(sparse_network):
+    design = AutoNCS().run_baseline(sparse_network, rng=7)
+    report = verify_flow(design)
+    assert report.passed
+    assert report.target == "FullCro"
+
+
+def test_verify_flow_accepts_bare_mapping(verified_flow):
+    report = verify_flow(verified_flow.mapping)
+    assert report.passed
+    assert report.check("physical").status == "skip"
+    assert "no placement" in report.check("physical").reason
+
+
+def test_verify_flow_rejects_foreign_objects():
+    with pytest.raises(TypeError, match="verify_flow expects"):
+        verify_flow(object())
+
+
+def test_verify_mapping_check_subset(verified_flow):
+    report = verify_mapping(verified_flow.mapping, checks=("hardware", "coverage"))
+    assert [c.name for c in report.checks] == ["coverage", "hardware"]
+
+
+def test_verify_mapping_is_deterministic(verified_flow):
+    design = verified_flow.design
+    first = verify_mapping(
+        verified_flow.mapping, design.placement, design.routing
+    )
+    second = verify_mapping(
+        verified_flow.mapping, design.placement, design.routing
+    )
+    assert first.summary() == second.summary()
+    assert first.check("functional").stats == second.check("functional").stats
+
+
+# ----------------------------------------------------------------------
+# Flow wiring: AutoNCS.run(verify=...) and evaluate_yield(assert_legal=...)
+# ----------------------------------------------------------------------
+def test_autoncs_run_verify_records_report(sparse_network):
+    result = AutoNCS().run(sparse_network, rng=7, verify=True)
+    verification = result.metadata["verification"]
+    assert verification["passed"] is True
+    assert verification["checks"] == {name: "pass" for name in CHECK_NAMES}
+    assert result.metadata["stage_seconds"]["verify"] > 0
+
+
+def test_run_baseline_verify_records_report(sparse_network):
+    design = AutoNCS().run_baseline(sparse_network, rng=7, verify=True)
+    verification = design.metadata["diagnostics"]["verification"]
+    assert verification["passed"] is True
+
+
+def test_evaluate_yield_assert_legal(verified_flow):
+    tb = build_testbench(scaled_testbench(1, 60), rng=3)
+    mapping = AutoNCS().run(tb.network, rng=5).mapping
+    curve = evaluate_yield(
+        tb.hopfield,
+        mapping,
+        defect_rates=[0.0, 0.3],
+        samples=2,
+        spare_instances=1,
+        rng=11,
+        assert_legal=True,
+    )
+    assert curve.metadata["assert_legal"] is True
+    assert len(curve.points) == 2
+
+
+# ----------------------------------------------------------------------
+# CLI: python -m repro verify
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("index", [1, 2, 3])
+def test_cli_verify_testbench_green(index, capsys):
+    exit_code = main(
+        ["verify", "--testbench", str(index), "--dimension", "64", "--seed", "4"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "PASS" in out
+    assert out.count("ok  ") == 4  # all four checks green
+
+
+def test_cli_verify_generated_network(capsys):
+    exit_code = main(
+        ["verify", "--neurons", "48", "--density", "0.08", "--seed", "3",
+         "--baseline", "--checks", "coverage", "hardware"]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "coverage" in out and "hardware" in out
+    assert "physical" not in out  # deselected checks are not listed
