@@ -16,6 +16,7 @@ runner legitimately shows ~1×).
 from __future__ import annotations
 
 from benchmarks.conftest import bench_config, bench_fast, bench_seed, write_result
+from repro.observability import recording
 from repro.runtime import ArtifactCache, EventLog, Runner, SweepSpec
 
 WORKER_COUNTS = (1, 2, 4)
@@ -75,13 +76,20 @@ def test_sweep_throughput_and_cache(benchmark, tmp_path):
         assert result.cache_hits == 0
 
     # Contract 2: a warm rerun is pure cache — zero executions, all hits.
+    # This rerun executes under a live recorder, so the engine's own
+    # counters (cache hits, cached jobs) cross-check the sweep result.
     warm_cache = ArtifactCache(tmp_path / f"cache-j{WORKER_COUNTS[-1]}")
     warm_events = EventLog()
-    warm = Runner(n_jobs=1, cache=warm_cache, events=warm_events).run_sweep(spec)
+    with recording() as recorder:
+        warm = Runner(n_jobs=1, cache=warm_cache, events=warm_events).run_sweep(spec)
     warm_seconds = float(warm_events.of_kind("sweep_finished")[0]["seconds"])
     assert warm.cache_hits == len(spec)
     assert warm.executed == 0
     assert _reduction_rows(warm) == reference_rows
+    warm_metrics = recorder.snapshot()
+    assert warm_metrics.get("cache.hits") == len(spec)
+    assert warm_metrics.get("runner.jobs_cached") == len(spec)
+    assert warm_metrics.get("runner.jobs_executed") is None
 
     base_seconds = runs[1][1]
     lines = [
@@ -97,5 +105,11 @@ def test_sweep_throughput_and_cache(benchmark, tmp_path):
     lines.append(
         f"{'warm':>7} {warm_seconds:>9.2f} {warm_speedup:>7.2f}x "
         f"({warm.cache_hits}/{len(spec)} cache hits, 0 executed)"
+    )
+    lines.append(
+        "warm-run metrics: "
+        f"cache.hits={warm_metrics.get('cache.hits')}, "
+        f"cache.hit_rate={warm_metrics.get('cache.hit_rate'):.2f}, "
+        f"runner.jobs_cached={warm_metrics.get('runner.jobs_cached')}"
     )
     write_result("runtime_sweep", "\n".join(lines))

@@ -14,9 +14,9 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro.core import AutoNCS
+import repro
 from repro.core.config import fast_config
-from repro.networks import ConnectionMatrix, block_diagonal_network
+from repro.networks import block_diagonal_network
 
 
 def main() -> None:
@@ -31,10 +31,10 @@ def main() -> None:
     network = blocks.permuted(order).copy(name="quickstart")
     print(f"input network : {network}")
 
-    flow = AutoNCS(fast_config())
+    config = fast_config()
 
-    # --- the AutoNCS flow -------------------------------------------------
-    result = flow.run(network, rng=42)
+    # --- the AutoNCS flow (the stable facade: repro.map_network) ----------
+    result = repro.map_network(network, config=config, seed=42)
     print(f"\nISC finished in {result.isc.iterations} iterations")
     print(f"  crossbars placed   : {result.mapping.num_crossbars}")
     print(f"  crossbar sizes     : {result.mapping.crossbar_size_histogram()}")
@@ -50,7 +50,7 @@ def main() -> None:
     print(f"  average wire delay : {cost.average_delay_ns:.2f} ns")
 
     # --- versus the baseline ----------------------------------------------
-    baseline = flow.run_baseline(network, rng=42)
+    baseline = repro.AutoNCS(config).run_baseline(network, rng=42)
     print("\nFullCro baseline (only 64x64 crossbars)")
     print(f"  total wirelength   : {baseline.cost.wirelength_um:,.1f} um")
     print(f"  placement area     : {baseline.cost.area_um2:,.1f} um^2")

@@ -13,7 +13,7 @@ import time
 
 import numpy as np
 
-from repro.core import AutoNCS
+import repro
 from repro.core.config import fast_config
 from repro.networks import block_diagonal_network
 
@@ -35,12 +35,12 @@ def scattered_blocks(n_target: int, rng_seed: int):
 
 
 def main() -> None:
-    flow = AutoNCS(fast_config())
+    config = fast_config()
     print(f"{'N':>6}{'WL reduc.':>12}{'area reduc.':>13}{'delay reduc.':>14}{'time':>8}")
     for n in (96, 160, 224, 288):
         network = scattered_blocks(n, rng_seed=n)
         start = time.perf_counter()
-        report = flow.compare(network, rng=7)
+        report = repro.compare(network, config=config, seed=7)
         elapsed = time.perf_counter() - start
         print(
             f"{network.size:>6}"

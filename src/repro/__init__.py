@@ -15,26 +15,67 @@ covers the whole stack:
   pipeline;
 * :mod:`repro.runtime` — parallel, cache-aware execution of sweeps over
   the flow (process pools, content-addressed artifact cache, events);
+* :mod:`repro.observability` — flow-wide tracing spans, typed metrics
+  and Perfetto/text exporters behind a zero-overhead null recorder;
 * :mod:`repro.experiments` — every table and figure of the paper.
 
-Quickstart
+Public API
 ----------
+The stable facade (see :mod:`repro.api`) is three keyword-only
+functions plus the observability surface:
+
+>>> import repro
 >>> from repro.networks import random_sparse_network
->>> from repro.core import AutoNCS
 >>> network = random_sparse_network(100, 0.05, rng=42)
->>> report = AutoNCS().compare(network, rng=42)
+>>> report = repro.compare(network, seed=42)
 >>> report.wirelength_reduction  # doctest: +SKIP
 41.3
+
+Tracing a run:
+
+>>> rec = repro.Recorder()
+>>> with repro.recording(rec):
+...     result = repro.map_network(network, seed=42)
+>>> repro.write_chrome_trace(rec.tracer.spans, "trace.jsonl")  # doctest: +SKIP
 """
 
+# The `repro.verify` *submodule* must be imported before the facade
+# function `verify` is bound below: the import machinery sets the
+# `verify` attribute on this package only at the submodule's first load,
+# so eager-importing it here lets the function shadow the attribute
+# while `import repro.verify` / `from repro.verify import ...` keep
+# working through sys.modules.
+import repro.verify  # noqa: F401  (eager submodule load, see above)
+from repro.api import compare, map_network, verify
 from repro.core import AutoNCS, AutoNcsConfig, AutoNcsResult, ComparisonReport
+from repro.core.config import fast_config
+from repro.observability import (
+    MetricsSnapshot,
+    Recorder,
+    get_recorder,
+    recording,
+    set_recorder,
+    write_chrome_trace,
+    write_metrics_text,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AutoNCS",
     "AutoNcsConfig",
     "AutoNcsResult",
     "ComparisonReport",
+    "MetricsSnapshot",
+    "Recorder",
     "__version__",
+    "compare",
+    "fast_config",
+    "get_recorder",
+    "map_network",
+    "recording",
+    "set_recorder",
+    "verify",
+    "write_chrome_trace",
+    "write_metrics_text",
 ]

@@ -1,0 +1,196 @@
+"""The stable public API of :mod:`repro`.
+
+Three functions cover the common uses of the framework, re-exported at
+the package top level::
+
+    import repro
+
+    result = repro.map_network(network, seed=42)        # AutoNcsResult
+    report = repro.compare(network, seed=42)            # ComparisonReport
+    check  = repro.verify(result, seed=42)              # VerificationReport
+
+All configuration is keyword-only, so calls read unambiguously and the
+signatures can grow without breaking positional callers.  Return types
+are the documented result dataclasses (:class:`~repro.core.autoncs.
+AutoNcsResult`, :class:`~repro.core.report.ComparisonReport`,
+:class:`~repro.verify.report.VerificationReport`) — each carries
+``.to_dict()`` for machine consumption and ``.format_table()`` for
+terminal output.
+
+Observability composes orthogonally: install a recorder around any call
+to collect a trace and metrics::
+
+    from repro import Recorder, recording, write_chrome_trace
+
+    rec = Recorder()
+    with recording(rec):
+        repro.compare(network, seed=42)
+    write_chrome_trace(rec.tracer.spans, "trace.jsonl")
+
+Deep imports (``from repro.core import AutoNCS``) remain supported for
+advanced use; the facade is the stable subset covered by the public-API
+snapshot test (``tests/test_public_api.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.core.autoncs import AutoNCS, AutoNcsResult
+from repro.core.config import AutoNcsConfig
+from repro.core.report import ComparisonReport
+from repro.mapping.netlist import MappingResult
+from repro.networks.connection_matrix import ConnectionMatrix
+from repro.physical.layout import PhysicalDesign
+from repro.utils.rng import RngLike
+from repro.verify.report import VerificationReport
+
+__all__ = ["compare", "map_network", "verify"]
+
+
+def map_network(
+    network: ConnectionMatrix,
+    *,
+    config: Optional[AutoNcsConfig] = None,
+    seed: RngLike = None,
+    verify: bool = False,
+) -> AutoNcsResult:
+    """Run the full AutoNCS flow (ISC → mapping → placement → routing).
+
+    Parameters
+    ----------
+    network:
+        The connection matrix to implement.
+    config:
+        Flow configuration; defaults to the paper settings
+        (:class:`~repro.core.config.AutoNcsConfig`; see also
+        :func:`~repro.core.config.fast_config` for quick previews).
+    seed:
+        RNG seed material (int, :class:`numpy.random.Generator` or
+        ``None`` for nondeterministic).
+    verify:
+        Run the independent end-to-end verifier on the finished design
+        and raise :class:`~repro.verify.VerificationError` on violation.
+
+    Returns
+    -------
+    AutoNcsResult
+        ISC result, hybrid mapping and physical design, with per-stage
+        diagnostics in ``metadata`` and the ``.to_dict()`` /
+        ``.format_table()`` result surface.
+    """
+    return AutoNCS(config).run(network, rng=seed, verify=verify)
+
+
+def compare(
+    network: ConnectionMatrix,
+    *,
+    config: Optional[AutoNcsConfig] = None,
+    seed: RngLike = None,
+    n_jobs: int = 1,
+    label: Optional[str] = None,
+) -> ComparisonReport:
+    """Run AutoNCS and the FullCro baseline; report the Table 1 comparison.
+
+    Parameters
+    ----------
+    network:
+        The connection matrix to implement with both flows.
+    config:
+        Flow configuration shared by both flows.
+    seed:
+        Parent seed; each flow draws from its own spawned child stream,
+        so either side is reproducible in isolation.
+    n_jobs:
+        ``> 1`` runs the two flows on worker processes through the
+        runtime engine.  The parallel path replays the exact child seeds
+        the serial path would spawn, so the report is identical for any
+        value.
+    label:
+        Report label (defaults to the network name).
+
+    Returns
+    -------
+    ComparisonReport
+        Wirelength/area/delay of both designs plus reduction
+        percentages, with ``.to_dict()`` / ``.format_table()``.
+    """
+    if n_jobs <= 1:
+        return AutoNCS(config).compare(network, label=label, rng=seed)
+    from repro.runtime import Job, Runner
+    from repro.utils.rng import ensure_rng, spawn_seeds
+
+    autoncs_seed, fullcro_seed = spawn_seeds(ensure_rng(seed), 2)
+    flow_config = config if config is not None else AutoNcsConfig()
+    payload = {"network": network, "config": flow_config}
+    jobs = [
+        Job(kind="autoncs", label=f"{network.name} autoncs",
+            payload=payload, seed=autoncs_seed),
+        Job(kind="fullcro", label=f"{network.name} fullcro",
+            payload=payload, seed=fullcro_seed),
+    ]
+    results = Runner(n_jobs=n_jobs).run(jobs)
+    result = results[0].value
+    return ComparisonReport(
+        label=label if label is not None else network.name,
+        autoncs=result.design,
+        fullcro=results[1].value,
+        metadata={"isc_iterations": result.isc.iterations,
+                  "outlier_ratio": result.isc.outlier_ratio},
+    )
+
+
+def verify(
+    target: Union[ConnectionMatrix, AutoNcsResult, PhysicalDesign, MappingResult],
+    *,
+    config: Optional[AutoNcsConfig] = None,
+    seed: RngLike = None,
+    baseline: bool = False,
+    checks: Optional[Sequence[str]] = None,
+    hopfield=None,
+) -> VerificationReport:
+    """Independently verify a flow artifact (or run the flow, then verify).
+
+    Parameters
+    ----------
+    target:
+        What to verify.  A finished :class:`AutoNcsResult`,
+        :class:`~repro.physical.layout.PhysicalDesign` or
+        :class:`~repro.mapping.netlist.MappingResult` is checked
+        directly; a :class:`~repro.networks.connection_matrix.
+        ConnectionMatrix` first runs the flow (AutoNCS by default,
+        FullCro with ``baseline=True``) and verifies the result.
+    config / seed / baseline:
+        Flow settings, used only when ``target`` is a network.
+    checks:
+        Subset of check names to run (``"coverage"``, ``"hardware"``,
+        ``"physical"``, ``"functional"``); default all.
+    hopfield:
+        Optional :class:`~repro.networks.hopfield.HopfieldNetwork`
+        enabling the Hopfield-recall part of the functional check.
+
+    Returns
+    -------
+    VerificationReport
+        Per-check outcomes and violations; ``.passed`` summarizes, and
+        ``.raise_if_failed()`` escalates to
+        :class:`~repro.verify.VerificationError`.
+    """
+    from repro.verify.verifier import verify_flow, verify_mapping
+
+    if isinstance(target, ConnectionMatrix):
+        flow = AutoNCS(config)
+        if baseline:
+            target = flow.run_baseline(target, rng=seed)
+        else:
+            target = flow.run(target, rng=seed)
+    if isinstance(target, AutoNcsResult):
+        target = target.design
+    if isinstance(target, PhysicalDesign):
+        return verify_flow(target, hopfield=hopfield, checks=checks)
+    if isinstance(target, MappingResult):
+        return verify_mapping(target, hopfield=hopfield, checks=checks)
+    raise TypeError(
+        "verify() accepts a ConnectionMatrix, AutoNcsResult, PhysicalDesign "
+        f"or MappingResult, got {type(target).__name__}"
+    )

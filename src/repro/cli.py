@@ -29,10 +29,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
 
+from repro.api import compare as api_compare
 from repro.clustering import iterative_spectral_clustering
-from repro.core import AutoNCS
 from repro.core.config import AutoNcsConfig, fast_config
 from repro.experiments.testbenches import build_testbench
 from repro.mapping import fullcro_utilization
@@ -40,6 +41,72 @@ from repro.networks import random_sparse_network
 from repro.networks.connection_matrix import ConnectionMatrix
 from repro.networks.io import load_network_npz, save_network_npz
 from repro.viz import matrix_to_svg, save_svg
+
+#: Headline metrics pre-registered on every ``--metrics`` run, so the
+#: dump always reports them (zero-valued when the path never fired).
+_HEADLINE_COUNTERS = (
+    "cache.hits",
+    "cache.misses",
+    "routing.ripup_retries",
+    "placement.wa_evals",
+)
+
+
+def _parse_testbench(value: str) -> int:
+    """Accept a paper testbench as ``1``/``2``/``3`` or ``tb1``/``tb2``/``tb3``."""
+    text = value.strip().lower()
+    if text.startswith("tb"):
+        text = text[2:]
+    try:
+        index = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"testbench must be 0-3 or tb1-tb3, got {value!r}"
+        ) from None
+    if index not in (0, 1, 2, 3):
+        raise argparse.ArgumentTypeError(
+            f"testbench must be 0-3 or tb1-tb3, got {value!r}"
+        )
+    return index
+
+
+@contextmanager
+def _observability(trace: Optional[str], metrics: Optional[str]) -> Iterator[None]:
+    """Install a recorder when ``--trace``/``--metrics`` asked for one.
+
+    Exports happen in ``finally``, so an interrupted run still leaves
+    whatever spans and counters it collected on disk.
+    """
+    if not trace and not metrics:
+        yield
+        return
+    from repro.observability import Recorder, recording, write_chrome_trace, write_metrics_text
+
+    recorder = Recorder()
+    for name in _HEADLINE_COUNTERS:
+        recorder.metrics.counter(name)
+    recorder.metrics.gauge("cache.hit_rate")
+    try:
+        with recording(recorder):
+            yield
+    finally:
+        if trace:
+            write_chrome_trace(recorder.tracer.spans, trace)
+            print(f"trace written to {trace}")
+        if metrics:
+            write_metrics_text(
+                recorder.snapshot(), metrics,
+                header=f"repro metrics — {' '.join(sys.argv[1:]) or 'run'}",
+            )
+            print(f"metrics written to {metrics}")
+
+
+def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a Perfetto/chrome://tracing loadable "
+                             "span trace (JSONL) to FILE")
+    parser.add_argument("--metrics", metavar="FILE",
+                        help="write the plain-text metrics dump to FILE")
 
 
 def _load_or_generate(args: argparse.Namespace) -> ConnectionMatrix:
@@ -59,42 +126,25 @@ def _add_network_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=42, help="RNG seed (default 42)")
 
 
-def _compare_report(network, config, seed, n_jobs):
-    """AutoNCS-vs-FullCro comparison, optionally over worker processes.
+def _resolve_testbench_network(args: argparse.Namespace):
+    """``(network, hopfield)`` of the scaled paper testbench in ``args``."""
+    from repro.experiments.testbenches import scaled_testbench
 
-    The parallel path replays the exact child seeds ``AutoNCS.compare``
-    would spawn serially, so its report is identical for any ``n_jobs``.
-    """
-    if n_jobs <= 1:
-        return AutoNCS(config).compare(network, rng=seed)
-    from repro.core.report import ComparisonReport
-    from repro.runtime import Job, Runner
-    from repro.utils.rng import ensure_rng, spawn_seeds
-
-    autoncs_seed, fullcro_seed = spawn_seeds(ensure_rng(seed), 2)
-    payload = {"network": network, "config": config}
-    jobs = [
-        Job(kind="autoncs", label=f"{network.name} autoncs",
-            payload=payload, seed=autoncs_seed),
-        Job(kind="fullcro", label=f"{network.name} fullcro",
-            payload=payload, seed=fullcro_seed),
-    ]
-    results = Runner(n_jobs=n_jobs).run(jobs)
-    result = results[0].value
-    return ComparisonReport(
-        label=network.name,
-        autoncs=result.design,
-        fullcro=results[1].value,
-        metadata={"isc_iterations": result.isc.iterations,
-                  "outlier_ratio": result.isc.outlier_ratio},
-    )
+    spec = scaled_testbench(args.testbench, args.dimension or None)
+    instance = build_testbench(spec, rng=args.seed)
+    print(f"testbench: {spec.label}")
+    return instance.network, instance.hopfield
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
-    network = _load_or_generate(args)
+    if args.testbench:
+        network, _hopfield = _resolve_testbench_network(args)
+    else:
+        network = _load_or_generate(args)
     config: AutoNcsConfig = fast_config() if args.fast else AutoNcsConfig()
     print(f"network: {network}")
-    report = _compare_report(network, config, seed=args.seed, n_jobs=args.jobs)
+    with _observability(args.trace, args.metrics):
+        report = api_compare(network, config=config, seed=args.seed, n_jobs=args.jobs)
     print(report.format_table())
     if args.verbose:
         from repro.core.summary import summarize_design
@@ -178,9 +228,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         kind=args.kind,
         config=config,
     )
-    with EventLog(trace_path=args.trace, printer=ProgressPrinter()) as events:
-        runner = Runner(n_jobs=args.jobs, cache=cache, events=events)
-        result = runner.run_sweep(spec)
+    with _observability(None, args.metrics):
+        with EventLog(trace_path=args.trace, printer=ProgressPrinter()) as events:
+            runner = Runner(n_jobs=args.jobs, cache=cache, events=events)
+            result = runner.run_sweep(spec)
     print()
     print(result.format_table())
     if args.trace:
@@ -189,26 +240,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
-    from repro.verify import verify_flow
+    from repro.api import verify as api_verify
 
     config: AutoNcsConfig = fast_config() if args.fast else AutoNcsConfig()
     hopfield = None
     if args.testbench:
-        from repro.experiments.testbenches import scaled_testbench
-
-        spec = scaled_testbench(args.testbench, args.dimension or None)
-        instance = build_testbench(spec, rng=args.seed)
-        network, hopfield = instance.network, instance.hopfield
-        print(f"testbench: {spec.label}")
+        network, hopfield = _resolve_testbench_network(args)
     else:
         network = _load_or_generate(args)
     print(f"network: {network}")
-    auto = AutoNCS(config)
-    if args.baseline:
-        flow = auto.run_baseline(network, rng=args.seed)
-    else:
-        flow = auto.run(network, rng=args.seed)
-    report = verify_flow(flow, hopfield=hopfield, checks=args.checks or None)
+    with _observability(args.trace, args.metrics):
+        report = api_verify(
+            network,
+            config=config,
+            seed=args.seed,
+            baseline=args.baseline,
+            checks=args.checks or None,
+            hopfield=hopfield,
+        )
     print(report.format())
     return 0 if report.passed else 1
 
@@ -238,6 +287,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     compare = sub.add_parser("compare", help="AutoNCS vs FullCro comparison")
     _add_network_arguments(compare)
+    compare.add_argument("--testbench", type=_parse_testbench, default=0,
+                         help="compare on a paper testbench (1-3 or tb1-tb3) "
+                              "instead of a generated/loaded network "
+                              "(default 0 = off)")
+    compare.add_argument("--dimension", type=int, default=120,
+                         help="scaled testbench size N (default 120; "
+                              "0 = full paper size)")
     compare.add_argument("--fast", action="store_true",
                          help="reduced-effort physical design (quick preview)")
     compare.add_argument("--verbose", action="store_true",
@@ -245,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the two flows (default 1; "
                               "results are identical for any value)")
+    _add_observability_arguments(compare)
     compare.set_defaults(func=_cmd_compare)
 
     testbench = sub.add_parser("testbench", help="generate a paper testbench")
@@ -307,15 +364,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="empty the cache before running")
     sweep.add_argument("--trace",
                        help="write a JSONL event trace to this file")
+    sweep.add_argument("--metrics", metavar="FILE",
+                       help="write the plain-text metrics dump to FILE")
     sweep.set_defaults(func=_cmd_sweep)
 
     verify = sub.add_parser(
         "verify", help="run the flow and independently verify the result"
     )
     _add_network_arguments(verify)
-    verify.add_argument("--testbench", type=int, default=0, choices=(0, 1, 2, 3),
-                        help="verify a paper testbench instead of a "
-                             "generated/loaded network (default 0 = off)")
+    verify.add_argument("--testbench", type=_parse_testbench, default=0,
+                        help="verify a paper testbench (1-3 or tb1-tb3) instead "
+                             "of a generated/loaded network (default 0 = off)")
     verify.add_argument("--dimension", type=int, default=120,
                         help="scaled testbench size N (default 120; "
                              "0 = full paper size)")
@@ -326,6 +385,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--checks", nargs="+",
                         choices=("coverage", "hardware", "physical", "functional"),
                         help="run only these checks (default: all)")
+    _add_observability_arguments(verify)
     verify.set_defaults(func=_cmd_verify)
 
     render = sub.add_parser("render", help="render a saved network to SVG")

@@ -31,6 +31,7 @@ from repro.clustering.preference import (
 )
 from repro.clustering.result import Cluster
 from repro.networks.connection_matrix import ConnectionMatrix
+from repro.observability import get_recorder
 from repro.utils.rng import RngLike, ensure_rng
 
 #: The paper's crossbar library: sizes 16..64 at a step of 4 (Sec. 4.2).
@@ -317,6 +318,20 @@ def iterative_spectral_clustering(
         metadata={"max_iterations": max_iterations, "selection_quantile": selection_quantile},
     )
     result.validate()
+
+    # One observability flush per ISC run (null-recorder overhead contract).
+    recorder = get_recorder()
+    recorder.count("isc.runs")
+    recorder.count("isc.iterations", result.iterations)
+    recorder.count("isc.crossbars_placed", len(crossbars))
+    recorder.count("isc.clustered_connections", result.clustered_connections)
+    recorder.count("isc.outlier_connections", len(outliers))
+    if recorder.enabled:
+        recorder.gauge("isc.outlier_ratio", result.outlier_ratio)
+        recorder.gauge("isc.average_utilization", result.average_utilization)
+        recorder.observe_many(
+            "isc.crossbar_size", [float(x.size) for x in crossbars]
+        )
     return result
 
 

@@ -36,6 +36,7 @@ from repro.mapping.autoncs_mapping import autoncs_mapping
 from repro.mapping.fullcro import fullcro_mapping, fullcro_utilization
 from repro.mapping.netlist import MappingResult
 from repro.networks.connection_matrix import ConnectionMatrix
+from repro.observability import get_recorder
 from repro.physical.cost import evaluate_cost
 from repro.physical.layout import PhysicalDesign, Placement
 from repro.physical.placement.annealing import AnnealingConfig, anneal_place
@@ -256,6 +257,36 @@ class AutoNcsResult:
         summary["outlier_ratio"] = self.isc.outlier_ratio
         return summary
 
+    def to_dict(self) -> dict:
+        """JSON-compatible dict (the repo-wide result-object surface)."""
+        return {
+            **self.summary(),
+            "stage_seconds": self.stage_seconds,
+            "fallbacks": list(self.metadata.get("fallbacks", [])),
+        }
+
+    def format_table(self) -> str:
+        """Aligned plain-text summary (the repo-wide result-object surface)."""
+        data = self.to_dict()
+        label = data.pop("design", "design")
+        fallbacks = data.pop("fallbacks")
+        stage_seconds = data.pop("stage_seconds")
+        width = max(len(key) for key in data)
+        lines = [f"AutoNCS result — {label}"]
+        for key, value in data.items():
+            if isinstance(value, float):
+                rendered = f"{value:.4f}"
+            else:
+                rendered = str(value)
+            lines.append(f"  {key:<{width}}  {rendered}")
+        if stage_seconds:
+            lines.append("  stage seconds:")
+            for stage, seconds in stage_seconds.items():
+                lines.append(f"    {stage:<{width}}  {seconds:.3f}")
+        if fallbacks:
+            lines.append(f"  fallbacks fired: {len(fallbacks)}")
+        return "\n".join(lines)
+
 
 def implement_mapping(
     mapping: MappingResult,
@@ -274,28 +305,32 @@ def implement_mapping(
         diagnostics = _fresh_diagnostics()
     diagnostics.setdefault("stage_seconds", {})
     diagnostics.setdefault("fallbacks", [])
-    placement = _place_with_fallback(mapping, config, rng, diagnostics)
-    routing = _route_with_retry(mapping, placement, config, diagnostics)
-    with Timer() as timer:
-        try:
-            cost = evaluate_cost(
-                mapping.netlist,
-                placement,
-                routing,
-                technology=config.technology,
-                weights=config.cost_weights,
-            )
-        except Exception as exc:
-            raise StageError(
-                "cost",
-                f"{type(exc).__name__}: {exc}",
-                partial={
-                    "mapping": mapping,
-                    "placement": placement,
-                    "routing": routing,
-                },
-            ) from exc
-    diagnostics["stage_seconds"]["cost"] = timer.elapsed
+    recorder = get_recorder()
+    with recorder.span("flow.place", cells=mapping.netlist.num_cells):
+        placement = _place_with_fallback(mapping, config, rng, diagnostics)
+    with recorder.span("flow.route", wires=len(mapping.netlist.wires)):
+        routing = _route_with_retry(mapping, placement, config, diagnostics)
+    with recorder.span("flow.evaluate"):
+        with Timer() as timer:
+            try:
+                cost = evaluate_cost(
+                    mapping.netlist,
+                    placement,
+                    routing,
+                    technology=config.technology,
+                    weights=config.cost_weights,
+                )
+            except Exception as exc:
+                raise StageError(
+                    "cost",
+                    f"{type(exc).__name__}: {exc}",
+                    partial={
+                        "mapping": mapping,
+                        "placement": placement,
+                        "routing": routing,
+                    },
+                ) from exc
+        diagnostics["stage_seconds"]["cost"] = timer.elapsed
     return PhysicalDesign(
         mapping=mapping,
         placement=placement,
@@ -367,26 +402,41 @@ class AutoNCS:
         rng = ensure_rng(rng)
         _require_connections(network, stage="isc")
         diagnostics = _fresh_diagnostics()
-        with Timer() as timer:
-            try:
-                isc = self.cluster(network, rng=rng)
-            except Exception as exc:
-                raise StageError("isc", f"{type(exc).__name__}: {exc}") from exc
-        diagnostics["stage_seconds"]["isc"] = timer.elapsed
-        with Timer() as timer:
-            try:
-                mapping = autoncs_mapping(isc, library=self.library)
-            except Exception as exc:
-                raise StageError(
-                    "mapping", f"{type(exc).__name__}: {exc}", partial={"isc": isc}
-                ) from exc
-        diagnostics["stage_seconds"]["mapping"] = timer.elapsed
-        design = implement_mapping(mapping, self.config, rng=rng, diagnostics=diagnostics)
-        result = AutoNcsResult(
-            isc=isc, mapping=mapping, design=design, metadata=diagnostics
-        )
-        if verify:
-            _verify_design(design, diagnostics)
+        recorder = get_recorder()
+        with recorder.span(
+            "flow.run", network=network.name, neurons=network.size
+        ) as flow_span:
+            with recorder.span("flow.cluster"):
+                with Timer() as timer:
+                    try:
+                        isc = self.cluster(network, rng=rng)
+                    except Exception as exc:
+                        raise StageError("isc", f"{type(exc).__name__}: {exc}") from exc
+                diagnostics["stage_seconds"]["isc"] = timer.elapsed
+            with recorder.span("flow.map"):
+                with Timer() as timer:
+                    try:
+                        mapping = autoncs_mapping(isc, library=self.library)
+                    except Exception as exc:
+                        raise StageError(
+                            "mapping", f"{type(exc).__name__}: {exc}", partial={"isc": isc}
+                        ) from exc
+                diagnostics["stage_seconds"]["mapping"] = timer.elapsed
+            design = implement_mapping(
+                mapping, self.config, rng=rng, diagnostics=diagnostics
+            )
+            result = AutoNcsResult(
+                isc=isc, mapping=mapping, design=design, metadata=diagnostics
+            )
+            if verify:
+                with recorder.span("flow.verify"):
+                    _verify_design(design, diagnostics)
+            flow_span.annotate(
+                isc_iterations=isc.iterations,
+                outlier_ratio=isc.outlier_ratio,
+                fallbacks=len(diagnostics.get("fallbacks", [])),
+            )
+        recorder.count("flow.runs")
         return result
 
     def run_baseline(
@@ -401,13 +451,18 @@ class AutoNCS:
         in ``design.metadata["diagnostics"]["verification"]``.
         """
         rng = ensure_rng(rng)
-        try:
-            mapping = fullcro_mapping(network, library=self.library)
-        except Exception as exc:
-            raise StageError("mapping", f"{type(exc).__name__}: {exc}") from exc
-        design = implement_mapping(mapping, self.config, rng=rng)
-        if verify:
-            _verify_design(design, design.metadata.get("diagnostics", {}))
+        recorder = get_recorder()
+        with recorder.span("flow.run_baseline", network=network.name):
+            with recorder.span("flow.map"):
+                try:
+                    mapping = fullcro_mapping(network, library=self.library)
+                except Exception as exc:
+                    raise StageError("mapping", f"{type(exc).__name__}: {exc}") from exc
+            design = implement_mapping(mapping, self.config, rng=rng)
+            if verify:
+                with recorder.span("flow.verify"):
+                    _verify_design(design, design.metadata.get("diagnostics", {}))
+        recorder.count("flow.baseline_runs")
         return design
 
     def compare(
@@ -424,8 +479,9 @@ class AutoNCS:
         reproduced in isolation from the same parent seed.
         """
         autoncs_rng, fullcro_rng = spawn_rng(rng, 2)
-        result = self.run(network, rng=autoncs_rng)
-        baseline = self.run_baseline(network, rng=fullcro_rng)
+        with get_recorder().span("flow.compare", network=network.name):
+            result = self.run(network, rng=autoncs_rng)
+            baseline = self.run_baseline(network, rng=fullcro_rng)
         return ComparisonReport(
             label=label if label is not None else network.name,
             autoncs=result.design,

@@ -89,6 +89,18 @@ class ComparisonReport:
                 times[name] = dict(stage_seconds)
         return times
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dict (the repo-wide result-object surface)."""
+        return {
+            "label": self.label,
+            "rows": self.rows(),
+            "wirelength_reduction": self.wirelength_reduction,
+            "area_reduction": self.area_reduction,
+            "delay_reduction": self.delay_reduction,
+            "stage_seconds": self.stage_seconds(),
+            "metadata": dict(self.metadata),
+        }
+
     def format_table(self, show_timings: bool = True) -> str:
         """Human-readable Table 1 block for this testbench.
 

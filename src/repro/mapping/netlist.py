@@ -371,6 +371,29 @@ class MappingResult:
             "average_fanin_fanout": self.fanin_fanout().average_total,
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dict (the repo-wide result-object surface)."""
+        return {
+            **self.summary(),
+            "netlist_cells": self.netlist.num_cells,
+            "netlist_wires": len(self.netlist.wires),
+        }
+
+    def format_table(self) -> str:
+        """Aligned plain-text summary (the repo-wide result-object surface)."""
+        data = self.to_dict()
+        width = max(len(key) for key in data)
+        lines = [f"mapping {self.name}"]
+        for key, value in data.items():
+            if key == "design":
+                continue
+            if isinstance(value, float):
+                rendered = f"{value:.4f}"
+            else:
+                rendered = str(value)
+            lines.append(f"  {key:<{width}}  {rendered}")
+        return "\n".join(lines)
+
 
 def _round_up(value: float) -> int:  # pragma: no cover - tiny helper
     return int(math.ceil(value))

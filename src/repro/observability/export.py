@@ -1,0 +1,154 @@
+"""Exporters: Chrome/Perfetto trace JSONL, metrics dump, QoR summary.
+
+``write_chrome_trace`` emits the Trace Event Format that both
+``chrome://tracing`` and Perfetto load: a JSON array of complete ("X")
+events with microsecond timestamps, one event per line, so the file is
+simultaneously valid JSON and greppable line-by-line (JSONL-style).
+
+``write_metrics_text`` dumps a :class:`MetricsSnapshot` as the aligned
+plain-text table of :meth:`MetricsSnapshot.format_table`.
+
+``format_qor_table`` renders the per-stage QoR view: stage wall times
+(from flow diagnostics) joined with the counters recorded under each
+stage's metric prefix — the instrumented cousin of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.observability.metrics import MetricsSnapshot
+from repro.observability.spans import Span
+
+SpanLike = Union[Span, Dict[str, Any]]
+
+#: Flow-stage metric prefixes, in pipeline order, for the QoR table.
+QOR_STAGE_PREFIXES = (
+    ("isc", "clustering"),
+    ("placement", "placement"),
+    ("routing", "routing"),
+    ("cache", "artifact cache"),
+    ("runner", "runtime"),
+    ("reliability", "reliability"),
+)
+
+
+def _json_safe(value: Any) -> Any:
+    """Clamp span attributes to JSON-compatible scalars/containers."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return repr(value)
+
+
+def chrome_trace_events(spans: Sequence[SpanLike]) -> List[Dict[str, Any]]:
+    """Convert spans to Trace Event Format dicts (``ph: "X"`` complete events)."""
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        record = span.to_dict() if isinstance(span, Span) else dict(span)
+        duration = record.get("duration") or 0.0
+        event = {
+            "name": record["name"],
+            "ph": "X",
+            "ts": record["start"] * 1e6,  # microseconds
+            "dur": duration * 1e6,
+            "pid": record.get("pid") or os.getpid(),
+            "tid": record.get("tid") or 0,
+            "cat": record["name"].split(".", 1)[0],
+            "args": _json_safe(record.get("attributes", {})),
+        }
+        parent = record.get("parent")
+        if parent:
+            event["args"] = {**event["args"], "parent": parent}
+        events.append(event)
+    events.sort(key=lambda e: e["ts"])
+    return events
+
+
+def write_chrome_trace(spans: Sequence[SpanLike], path) -> Path:
+    """Write spans as a Perfetto/chrome://tracing loadable JSON trace.
+
+    One event per line inside a JSON array: loadable as a whole, and a
+    truncated file still has a readable line-per-event prefix.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    events = chrome_trace_events(spans)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("[\n")
+        for index, event in enumerate(events):
+            trailer = "," if index < len(events) - 1 else ""
+            handle.write(json.dumps(event, sort_keys=True) + trailer + "\n")
+        handle.write("]\n")
+    return path
+
+
+def read_chrome_trace(path) -> List[Dict[str, Any]]:
+    """Load a trace written by :func:`write_chrome_trace` (round-trip)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        events = json.load(handle)
+    if not isinstance(events, list):
+        raise ValueError(f"{path}: expected a JSON array of trace events")
+    return events
+
+
+def write_metrics_text(snapshot: MetricsSnapshot, path, header: Optional[str] = None) -> Path:
+    """Write a snapshot as the aligned plain-text dump (``--metrics FILE``)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = []
+    if header:
+        lines.append(header)
+    lines.append(snapshot.format_table())
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def format_qor_table(
+    snapshot: MetricsSnapshot,
+    stage_seconds: Optional[Mapping[str, float]] = None,
+    indent: str = "  ",
+) -> str:
+    """Per-stage QoR summary: wall time plus the stage's own counters.
+
+    Groups every metric by its dotted prefix (``routing.ripup_retries``
+    → stage ``routing``), joins in the flow's ``stage_seconds``
+    diagnostics when given, and renders one block per stage.
+    """
+    stage_seconds = dict(stage_seconds or {})
+    grouped: Dict[str, List[str]] = {}
+    merged: Dict[str, Any] = {}
+    merged.update(snapshot.counters)
+    merged.update(snapshot.gauges)
+    for name, summary in snapshot.histograms.items():
+        merged[name] = f"n={summary['count']:.0f} mean={summary['mean']:.3f}"
+    for name in sorted(merged):
+        prefix = name.split(".", 1)[0]
+        grouped.setdefault(prefix, []).append(name)
+    lines: List[str] = ["QoR summary"]
+    known = {prefix for prefix, _label in QOR_STAGE_PREFIXES}
+    ordered = [p for p, _ in QOR_STAGE_PREFIXES if p in grouped]
+    ordered += [p for p in sorted(grouped) if p not in known]
+    for prefix in ordered:
+        label = dict(QOR_STAGE_PREFIXES).get(prefix, prefix)
+        seconds = [v for k, v in stage_seconds.items() if k.startswith(prefix)]
+        timing = f"  ({sum(seconds):.3f} s)" if seconds else ""
+        lines.append(f"{indent}{label}{timing}")
+        for name in grouped[prefix]:
+            value = merged[name]
+            if isinstance(value, float):
+                rendered = f"{value:,.4f}"
+            elif isinstance(value, int):
+                rendered = f"{value:,}"
+            else:
+                rendered = str(value)
+            lines.append(f"{indent}{indent}{name:<36} {rendered}")
+    if len(lines) == 1:
+        lines.append(f"{indent}(no metrics recorded)")
+    return "\n".join(lines)

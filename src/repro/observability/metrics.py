@@ -1,0 +1,282 @@
+"""Typed, process-local metrics: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` owns every metric of one recorder.  Metrics
+are created on first use (``registry.counter("routing.ripup_retries")``)
+and are *typed*: asking for an existing name with a different type is an
+error, so ``cache.hits`` cannot silently flip between counter and gauge.
+
+Reading a registry produces an immutable :class:`MetricsSnapshot` — the
+shape that travels across process boundaries (the runtime's worker
+protocol pickles snapshots back to the driver), lands in result
+metadata, and feeds the text/JSONL exporters.  Snapshots follow the
+repo-wide result-object ergonomics: ``.to_dict()`` and
+``.format_table()``.
+
+Thread safety: metric *creation* is lock-protected; value updates are
+single bytecode-level read-modify-writes on plain attributes, which the
+GIL serializes — good enough for counting, and free of lock overhead on
+the hot paths.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count (events, iterations, rip-ups)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        """Add ``n`` (must be >= 0) to the count."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r}: increment must be >= 0, got {n}")
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value (cache hit rate, overlap ratio)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: Number) -> None:
+        """Replace the gauge value."""
+        self.value = float(value)
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """A streaming summary of observed values (count/total/min/max/mean).
+
+    Bucket-free on purpose: the flow's distributions (routed path
+    lengths, legalization displacements) are consumed as summaries in
+    QoR tables, not rendered as true histograms, and a five-number
+    summary merges exactly across worker processes.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count: int = 0
+        self.total: float = 0.0
+        self.min: float = float("inf")
+        self.max: float = float("-inf")
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def observe_many(self, values: Iterable[Number]) -> None:
+        """Record a batch of observations (one call per hot loop, not per item)."""
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """The five-number summary exported by snapshots."""
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.3g})"
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """An immutable, picklable read of one registry.
+
+    The common result-object surface: :meth:`to_dict` for JSONL export
+    and tests, :meth:`format_table` for CLI output.  Snapshots merge
+    (:meth:`merge`), which is how worker-process metrics fold into the
+    driver's registry.
+    """
+
+    counters: Dict[str, Number] = field(default_factory=dict)
+    gauges: Dict[str, float] = field(default_factory=dict)
+    histograms: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def get(self, name: str, default: Optional[Number] = None):
+        """Look a metric up by name across all three kinds."""
+        if name in self.counters:
+            return self.counters[name]
+        if name in self.gauges:
+            return self.gauges[name]
+        if name in self.histograms:
+            return self.histograms[name]
+        return default
+
+    @property
+    def empty(self) -> bool:
+        """True when no metric holds any data."""
+        return not (self.counters or self.gauges or self.histograms)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Combine two snapshots: counters add, gauges last-write-wins,
+        histogram summaries fold exactly."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = dict(self.gauges)
+        gauges.update(other.gauges)
+        histograms = dict(self.histograms)
+        for name, summary in other.histograms.items():
+            if name not in histograms or not histograms[name]["count"]:
+                histograms[name] = dict(summary)
+            elif summary["count"]:
+                mine = histograms[name]
+                count = mine["count"] + summary["count"]
+                total = mine["total"] + summary["total"]
+                histograms[name] = {
+                    "count": count,
+                    "total": total,
+                    "min": min(mine["min"], summary["min"]),
+                    "max": max(mine["max"], summary["max"]),
+                    "mean": total / count,
+                }
+        return MetricsSnapshot(counters=counters, gauges=gauges, histograms=histograms)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain nested dict (JSON-compatible) of every metric."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {k: dict(v) for k, v in sorted(self.histograms.items())},
+        }
+
+    def format_table(self) -> str:
+        """Aligned plain-text metrics dump (the ``--metrics FILE`` shape)."""
+        lines: List[str] = []
+        names = list(self.counters) + list(self.gauges) + list(self.histograms)
+        if not names:
+            return "(no metrics recorded)"
+        width = max(len(name) for name in names)
+        if self.counters:
+            lines.append("counters:")
+            for name, value in sorted(self.counters.items()):
+                lines.append(f"  {name:<{width}}  {value:>14,}")
+        if self.gauges:
+            lines.append("gauges:")
+            for name, value in sorted(self.gauges.items()):
+                lines.append(f"  {name:<{width}}  {value:>14.4f}")
+        if self.histograms:
+            lines.append("histograms:")
+            for name, s in sorted(self.histograms.items()):
+                lines.append(
+                    f"  {name:<{width}}  count={s['count']:<8,.0f} "
+                    f"mean={s['mean']:<12.3f} min={s['min']:<12.3f} "
+                    f"max={s['max']:<12.3f} total={s['total']:,.3f}"
+                )
+        return "\n".join(lines)
+
+
+class MetricsRegistry:
+    """Create-on-first-use home of every metric in one recorder."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind: type):
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, requested {kind.__name__}"
+                )
+            return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = kind(name)
+            elif not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, requested {kind.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        return self._get_or_create(name, Histogram)
+
+    def names(self) -> List[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def clear(self) -> None:
+        """Drop every metric (tests and benchmark repetitions)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> MetricsSnapshot:
+        """An immutable read of every metric's current value."""
+        counters: Dict[str, Number] = {}
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Dict[str, float]] = {}
+        for name, metric in list(self._metrics.items()):
+            if isinstance(metric, Counter):
+                counters[name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[name] = metric.value
+            else:
+                histograms[name] = metric.summary()  # type: ignore[union-attr]
+        return MetricsSnapshot(counters=counters, gauges=gauges, histograms=histograms)
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Fold a snapshot (e.g. from a worker process) into this registry."""
+        for name, value in snapshot.counters.items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.gauges.items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.histograms.items():
+            histogram = self.histogram(name)
+            if summary["count"]:
+                histogram.count += int(summary["count"])
+                histogram.total += summary["total"]
+                histogram.min = min(histogram.min, summary["min"])
+                histogram.max = max(histogram.max, summary["max"])

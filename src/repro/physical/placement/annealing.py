@@ -11,11 +11,13 @@ matches the analytic flow's post-processing.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.hardware.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.mapping.netlist import Netlist
+from repro.observability import get_recorder
 from repro.physical.layout import Placement
 from repro.physical.placement.initial import initial_placement
 from repro.physical.placement.legalize import legalize
@@ -73,7 +75,7 @@ def _cell_overlap(
 def anneal_place(
     netlist: Netlist,
     technology: Technology = DEFAULT_TECHNOLOGY,
-    config: AnnealingConfig = None,
+    config: Optional[AnnealingConfig] = None,
     rng: RngLike = None,
 ) -> Placement:
     """Place a netlist by simulated annealing; returns a legalized placement."""
@@ -131,11 +133,15 @@ def anneal_place(
     mean_uphill = float(np.mean(samples)) if samples else 1.0
     temperature = -mean_uphill / np.log(config.initial_acceptance)
 
+    # Move tallies stay plain local ints inside the Metropolis loop; the
+    # recorder sees one flush at the end (null-recorder overhead contract).
     accepted_total = 0
+    attempted_total = 0
     for _ in range(config.temperatures):
         for _ in range(config.moves_per_temperature):
             i = int(rng.integers(0, n))
             if rng.random() < 0.8:  # displacement move
+                attempted_total += 1
                 before = local_cost(i)
                 old = (x[i], y[i])
                 x[i] += rng.normal(0.0, move_scale)
@@ -149,6 +155,7 @@ def anneal_place(
                 j = int(rng.integers(0, n))
                 if i == j:
                     continue
+                attempted_total += 1
                 before = local_cost(i) + local_cost(j)
                 x[i], x[j] = x[j], x[i]
                 y[i], y[j] = y[j], y[i]
@@ -160,6 +167,11 @@ def anneal_place(
                     accepted_total += 1
         temperature *= config.cooling
         move_scale = max(move_scale * 0.95, 0.01 * span)
+
+    recorder = get_recorder()
+    recorder.count("placement.anneal_moves", attempted_total)
+    recorder.count("placement.anneal_accepted", accepted_total)
+    recorder.count("placement.anneal_rejected", attempted_total - accepted_total)
 
     x, y, legal_info = legalize(x, y, virtual_w, virtual_h, rng=rng)
     if x.size:

@@ -17,6 +17,7 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.observability import get_recorder
 from repro.physical.placement.spatial import PAIRWISE_LIMIT, candidate_pairs
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -63,15 +64,30 @@ def push_apart(
     total_area = float(areas.sum())
     if total_area <= 0.0 or x.size < 2:
         return x, y, 0.0
+
+    # Pass/move tallies: local ints in the loop, one recorder flush on
+    # every exit (null-recorder overhead contract).
+    passes_run = 0
+    pair_moves = 0
+
+    def _flush() -> None:
+        recorder = get_recorder()
+        recorder.count("placement.legalize_passes", passes_run)
+        recorder.count("placement.legalize_pair_moves", pair_moves)
+
     ratio = np.inf
     for _ in range(max_passes):
+        passes_run += 1
         ii, jj, pen_x, pen_y = _overlap_pairs(x, y, half_w, half_h)
         if ii.size == 0:
+            _flush()
             return x, y, 0.0
         overlap_area = float(np.sum(pen_x * pen_y))
         ratio = overlap_area / total_area
         if ratio <= tolerance_ratio:
+            _flush()
             return x, y, ratio
+        pair_moves += int(ii.size)
         shift_x = np.zeros_like(x)
         shift_y = np.zeros_like(y)
         # Share each pair's separation inversely to cell area.
@@ -104,6 +120,7 @@ def push_apart(
         y += 0.7 * shift_y
     ii, jj, pen_x, pen_y = _overlap_pairs(x, y, half_w, half_h)
     ratio = float(np.sum(pen_x * pen_y)) / total_area if ii.size else 0.0
+    _flush()
     return x, y, ratio
 
 

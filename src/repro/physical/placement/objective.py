@@ -49,6 +49,11 @@ class PlacementObjective:
         self.tau = float(tau)
         self.lam = 0.0
         self.n = self.virtual_widths.shape[0]
+        # Evaluation tallies: plain attribute adds in the optimizer's hot
+        # loop; the placer reports them to the observability recorder once
+        # per place() call.
+        self.wa_evals = 0
+        self.density_evals = 0
 
     # ------------------------------------------------------------------
     def unpack(self, z: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -65,6 +70,7 @@ class PlacementObjective:
     # ------------------------------------------------------------------
     def wirelength_and_grad(self, z: np.ndarray) -> Tuple[float, np.ndarray]:
         """WA wirelength term and its packed gradient."""
+        self.wa_evals += 1
         x, y = self.unpack(z)
         value, gx, gy = wa_wirelength_and_grad(
             x, y, self.sources, self.targets, self.weights, self.gamma
@@ -73,6 +79,7 @@ class PlacementObjective:
 
     def density_and_grad(self, z: np.ndarray) -> Tuple[float, np.ndarray]:
         """Density term and its packed gradient."""
+        self.density_evals += 1
         x, y = self.unpack(z)
         value, gx, gy = density_value_and_grad(
             x, y, self.virtual_widths, self.virtual_heights, self.tau

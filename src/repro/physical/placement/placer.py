@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.hardware.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.mapping.netlist import CellKind, Netlist
+from repro.observability import get_recorder
 from repro.physical.layout import Placement
 from repro.physical.placement.density import true_overlap
 from repro.physical.placement.initial import initial_placement
@@ -143,7 +144,9 @@ def place(
     gamma = config.gamma_um if config.gamma_um is not None else max(0.01 * side_estimate, 0.5)
     tau = config.tau_um if config.tau_um is not None else max(0.005 * side_estimate, 0.25)
 
+    recorder = get_recorder()
     stage_log = []
+    objective = None
     x, y = seed_x, seed_y
     if sources.size:
         objective = PlacementObjective(
@@ -157,29 +160,36 @@ def place(
         )
         z = objective.pack(seed_x, seed_y)
         lam = objective.initial_lambda(z)  # Algorithm 4 line 1
-        for stage in range(1, config.max_lambda_stages + 1):
-            objective.lam = lam
-            result = conjugate_gradient(
-                objective.value_and_grad,
-                z,
-                max_iterations=config.cg_iterations_per_stage,
+        with recorder.span(
+            "placement.penalty_loop", cells=netlist.num_cells, wires=len(netlist.wires)
+        ) as loop_span:
+            for stage in range(1, config.max_lambda_stages + 1):
+                objective.lam = lam
+                result = conjugate_gradient(
+                    objective.value_and_grad,
+                    z,
+                    max_iterations=config.cg_iterations_per_stage,
+                )
+                z = result.z
+                x, y = objective.unpack(z)
+                overlap = true_overlap(x, y, virtual_w, virtual_h)
+                overlap_ratio = overlap / total_virtual_area if total_virtual_area else 0.0
+                stage_log.append(
+                    {
+                        "stage": stage,
+                        "lambda": lam,
+                        "objective": result.value,
+                        "cg_iterations": result.iterations,
+                        "overlap_ratio": overlap_ratio,
+                    }
+                )
+                if overlap_ratio <= config.overlap_threshold:
+                    break
+                lam *= 2.0  # Algorithm 4 line 5
+            loop_span.annotate(
+                lambda_stages=len(stage_log),
+                final_overlap_ratio=stage_log[-1]["overlap_ratio"] if stage_log else 0.0,
             )
-            z = result.z
-            x, y = objective.unpack(z)
-            overlap = true_overlap(x, y, virtual_w, virtual_h)
-            overlap_ratio = overlap / total_virtual_area if total_virtual_area else 0.0
-            stage_log.append(
-                {
-                    "stage": stage,
-                    "lambda": lam,
-                    "objective": result.value,
-                    "cg_iterations": result.iterations,
-                    "overlap_ratio": overlap_ratio,
-                }
-            )
-            if overlap_ratio <= config.overlap_threshold:
-                break
-            lam *= 2.0  # Algorithm 4 line 5
 
     def weighted_hpwl(px: np.ndarray, py: np.ndarray) -> float:
         if not sources.size:
@@ -187,19 +197,33 @@ def place(
         return hpwl(px, py, sources, targets, weights=wire_weights)
 
     # Two legal candidates: snap of the seed and snap of the refined layout.
-    candidates = {}
-    snap_seed = grid_snap(seed_x, seed_y, virtual_w, virtual_h, fill=config.snap_fill)
-    candidates["seed"] = snap_seed
-    if stage_log:
-        snap_refined = grid_snap(x, y, virtual_w, virtual_h, fill=config.snap_fill)
-        candidates["refined"] = snap_refined
-    chosen_name, (x, y) = min(
-        candidates.items(), key=lambda item: weighted_hpwl(item[1][0], item[1][1])
+    with recorder.span("placement.legalize") as legalize_span:
+        candidates = {}
+        snap_seed = grid_snap(seed_x, seed_y, virtual_w, virtual_h, fill=config.snap_fill)
+        candidates["seed"] = snap_seed
+        if stage_log:
+            snap_refined = grid_snap(x, y, virtual_w, virtual_h, fill=config.snap_fill)
+            candidates["refined"] = snap_refined
+        chosen_name, (x, y) = min(
+            candidates.items(), key=lambda item: weighted_hpwl(item[1][0], item[1][1])
+        )
+        hpwl_after_snap = weighted_hpwl(x, y)
+        if config.compaction_passes:
+            x, y = compact(x, y, virtual_w, virtual_h, passes=config.compaction_passes)
+        hpwl_after_compact = weighted_hpwl(x, y)
+        legalize_span.annotate(chosen=chosen_name)
+
+    recorder.count("placement.runs")
+    recorder.count("placement.lambda_stages", len(stage_log))
+    recorder.count(
+        "placement.gradient_steps", sum(s["cg_iterations"] for s in stage_log)
     )
-    hpwl_after_snap = weighted_hpwl(x, y)
-    if config.compaction_passes:
-        x, y = compact(x, y, virtual_w, virtual_h, passes=config.compaction_passes)
-    hpwl_after_compact = weighted_hpwl(x, y)
+    if objective is not None:
+        recorder.count("placement.wa_evals", objective.wa_evals)
+        recorder.count("placement.density_evals", objective.density_evals)
+    if stage_log:
+        recorder.gauge("placement.final_overlap_ratio", stage_log[-1]["overlap_ratio"])
+    recorder.gauge("placement.hpwl_after_legalization", hpwl_after_compact)
 
     # Normalize to a (0, 0) origin for readable layouts (physical extents).
     if x.size:

@@ -16,7 +16,7 @@ the per-wire max) keeps it finite for any coordinate range.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -26,7 +26,7 @@ def hpwl(
     y: np.ndarray,
     sources: np.ndarray,
     targets: np.ndarray,
-    weights: np.ndarray = None,
+    weights: Optional[np.ndarray] = None,
 ) -> float:
     """Exact (weighted) half-perimeter wirelength for 2-pin wires."""
     dx = np.abs(x[sources] - x[targets])

@@ -22,7 +22,14 @@ from repro.physical.routing.grid import BinCoord, RoutingGrid
 
 
 class MazeWorkspace:
-    """Reusable per-grid search state (g-scores, parents, epochs)."""
+    """Reusable per-grid search state (g-scores, parents, epochs).
+
+    Also accumulates search statistics (``heap_pushes``, ``heap_pops``,
+    ``visited_bins``, ``searches``) as plain integer adds — the router
+    reports the totals to the current observability recorder once per
+    :func:`~repro.physical.routing.router.route` call, keeping the inner
+    loop free of instrumentation calls.
+    """
 
     def __init__(self, grid: RoutingGrid) -> None:
         size = grid.nx * grid.ny
@@ -32,10 +39,15 @@ class MazeWorkspace:
         self.stamp = np.zeros(size, dtype=np.int64)
         self.closed = np.zeros(size, dtype=np.int64)
         self.epoch = 0
+        self.heap_pushes = 0
+        self.heap_pops = 0
+        self.visited_bins = 0
+        self.searches = 0
 
     def begin(self) -> None:
         """Start a fresh search; previous state becomes stale by epoch."""
         self.epoch += 1
+        self.searches += 1
 
 
 def maze_route(
@@ -109,19 +121,30 @@ def _a_star(
     g_score[start_flat] = 0.0
     stamp[start_flat] = epoch
     parent[start_flat] = -1
+    # Search statistics: plain local ints, flushed onto the workspace at
+    # every exit so the router can report them (null-recorder contract:
+    # no recorder calls inside the wave expansion).
+    pushes = 1
+    pops = 0
+    visited = 0
     open_heap = [((abs(start[0] - gx) + abs(start[1] - gy)) * theta, start_flat)]
     while open_heap:
         _, current = heapq.heappop(open_heap)
+        pops += 1
         if current == goal_flat:
             flat_path = [current]
             while parent[current] != -1:
                 current = parent[current]
                 flat_path.append(current)
             flat_path.reverse()
+            ws.heap_pushes += pushes
+            ws.heap_pops += pops
+            ws.visited_bins += visited
             return [(int(f // ny), int(f % ny)) for f in flat_path]
         if closed[current] == epoch:
             continue
         closed[current] = epoch
+        visited += 1
         cx, cy = current // ny, current % ny
         current_g = g_score[current]
         # unrolled 4-neighbour expansion
@@ -152,4 +175,8 @@ def _a_star(
                 parent[neighbor] = current
                 heuristic = (abs(nbx - gx) + abs(nby - gy)) * theta
                 heapq.heappush(open_heap, (tentative + heuristic, neighbor))
+                pushes += 1
+    ws.heap_pushes += pushes
+    ws.heap_pops += pops
+    ws.visited_bins += visited
     return None

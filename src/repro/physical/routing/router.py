@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.hardware.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.mapping.netlist import Netlist
+from repro.observability import get_recorder
 from repro.physical.layout import Placement
 from repro.physical.routing.grid import BinCoord, RoutingGrid
 from repro.physical.routing.maze import MazeWorkspace, maze_route
@@ -160,6 +161,7 @@ def route(
     )
     workspace = MazeWorkspace(grid)
 
+    recorder = get_recorder()
     order = _routing_order(netlist, placement)
     routed: Dict[int, RoutedWire] = {}
     failed: List[int] = []
@@ -194,42 +196,74 @@ def route(
             overflowed=overflowed,
         )
 
-    for index in order:
-        outcome = try_route(index, allow_overflow=False)
-        if outcome is None:
-            failed.append(index)
-        else:
-            routed[index] = outcome
-
-    relax_rounds = 0
-    while failed and relax_rounds < config.max_relax_rounds:
-        relax_rounds += 1
-        grid.relax_capacity(config.relax_increment)
-        still_failed: List[int] = []
-        for index in failed:
+    with recorder.span(
+        "routing.global", wires=len(netlist.wires), bins=[grid.nx, grid.ny]
+    ) as span:
+        for index in order:
             outcome = try_route(index, allow_overflow=False)
             if outcome is None:
-                still_failed.append(index)
+                failed.append(index)
             else:
                 routed[index] = outcome
-        failed = still_failed
+        first_pass_failures = len(failed)
 
-    # Never-fail final pass: overflow allowed, heavily penalized.
-    overflow_wires = 0
-    for index in failed:
-        outcome = try_route(index, allow_overflow=True)
-        if outcome is None:  # pragma: no cover - connected grid always routes
-            raise RuntimeError(f"wire {index} could not be routed at all")
-        routed[index] = outcome
-        if outcome.overflowed:
-            overflow_wires += 1
+        relax_rounds = 0
+        ripup_retries = 0
+        while failed and relax_rounds < config.max_relax_rounds:
+            relax_rounds += 1
+            grid.relax_capacity(config.relax_increment)
+            recorder.event("routing.relax_round", round=relax_rounds, failed=len(failed))
+            still_failed: List[int] = []
+            for index in failed:
+                ripup_retries += 1
+                outcome = try_route(index, allow_overflow=False)
+                if outcome is None:
+                    still_failed.append(index)
+                else:
+                    routed[index] = outcome
+            failed = still_failed
 
-    return RoutingResult(
-        wires=[routed[i] for i in sorted(routed)],
-        grid=grid,
-        relax_rounds=relax_rounds,
-        overflow_wires=overflow_wires,
-    )
+        # Never-fail final pass: overflow allowed, heavily penalized.
+        overflow_wires = 0
+        for index in failed:
+            ripup_retries += 1
+            outcome = try_route(index, allow_overflow=True)
+            if outcome is None:  # pragma: no cover - connected grid always routes
+                raise RuntimeError(f"wire {index} could not be routed at all")
+            routed[index] = outcome
+            if outcome.overflowed:
+                overflow_wires += 1
+                recorder.event("routing.overflow", wire=index)
+
+        result = RoutingResult(
+            wires=[routed[i] for i in sorted(routed)],
+            grid=grid,
+            relax_rounds=relax_rounds,
+            overflow_wires=overflow_wires,
+        )
+        # One reporting flush per route() call — the maze inner loop only
+        # touches workspace integers (null-recorder overhead contract).
+        recorder.count("routing.wires_routed", len(result.wires))
+        recorder.count("routing.first_pass_failures", first_pass_failures)
+        recorder.count("routing.ripup_retries", ripup_retries)
+        recorder.count("routing.relax_rounds", relax_rounds)
+        recorder.count("routing.overflow_wires", overflow_wires)
+        recorder.count("routing.heap_pushes", workspace.heap_pushes)
+        recorder.count("routing.heap_pops", workspace.heap_pops)
+        recorder.count("routing.visited_bins", workspace.visited_bins)
+        recorder.count("routing.maze_searches", workspace.searches)
+        if recorder.enabled:
+            recorder.observe_many(
+                "routing.path_bins", [len(wire.path) for wire in result.wires]
+            )
+            recorder.gauge("routing.total_wirelength_um", result.total_wirelength_um)
+        span.annotate(
+            ripup_retries=ripup_retries,
+            relax_rounds=relax_rounds,
+            overflow_wires=overflow_wires,
+            heap_pushes=workspace.heap_pushes,
+        )
+    return result
 
 
 def _path_overflows(grid: RoutingGrid, path: List[BinCoord]) -> bool:

@@ -39,6 +39,7 @@ from repro.hardware.simulation import (
 from repro.mapping.netlist import MappingResult
 from repro.networks.hopfield import HopfieldNetwork
 from repro.networks.patterns import corrupt_pattern
+from repro.observability import get_recorder
 from repro.reliability.defects import DefectRates, sample_defect_map
 from repro.reliability.repair import repair_mapping
 from repro.utils.rng import RngLike, ensure_rng, spawn_rng
@@ -102,6 +103,27 @@ class YieldCurve:
     points: List[YieldPoint]
     recognition_threshold: float
     metadata: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible dict (the repo-wide result-object surface)."""
+        return {
+            "recognition_threshold": self.recognition_threshold,
+            "points": [
+                {
+                    "cell_stuck_off": p.rates.cell_stuck_off,
+                    "samples": p.samples,
+                    "functional_yield_unrepaired": p.functional_yield_unrepaired,
+                    "functional_yield_repaired": p.functional_yield_repaired,
+                    "mean_recognition_unrepaired": p.mean_recognition_unrepaired,
+                    "mean_recognition_repaired": p.mean_recognition_repaired,
+                    "mean_connections_recovered": p.mean_connections_recovered,
+                    "mean_synapses_added": p.mean_synapses_added,
+                    "yield_gain": p.yield_gain,
+                }
+                for p in self.points
+            ],
+            "metadata": dict(self.metadata),
+        }
 
     def format_table(self) -> str:
         """Fixed-width text table (benchmark/CLI output)."""
@@ -314,35 +336,48 @@ def evaluate_yield(
         model=model,
         assert_legal=assert_legal,
     )
-    if n_jobs == 1:
-        # The defect-independent programming of the mapped design is
-        # compiled once and shared by every chip (the hoist that makes
-        # the Monte-Carlo loop ~O(trials) in recall work, not assembly).
-        program = HybridProgram.compile(mapping, hopfield.weights)
-        outcomes = [
-            execute_trial(mapping, hopfield, spec, program=program, **trial_kwargs)
-            for spec in specs
-        ]
-    else:
-        # Imported lazily: repro.runtime.runner registers the
-        # "yield_trial" executor, which calls back into execute_trial.
-        from repro.runtime import Job, Runner
+    recorder = get_recorder()
+    with recorder.span(
+        "reliability.evaluate_yield",
+        rates=len(rates_list),
+        samples=samples,
+        n_jobs=n_jobs,
+    ):
+        if n_jobs == 1:
+            # The defect-independent programming of the mapped design is
+            # compiled once and shared by every chip (the hoist that makes
+            # the Monte-Carlo loop ~O(trials) in recall work, not assembly).
+            program = HybridProgram.compile(mapping, hopfield.weights)
+            outcomes = [
+                execute_trial(mapping, hopfield, spec, program=program, **trial_kwargs)
+                for spec in specs
+            ]
+        else:
+            # Imported lazily: repro.runtime.runner registers the
+            # "yield_trial" executor, which calls back into execute_trial.
+            from repro.runtime import Job, Runner
 
-        jobs = [
-            Job(
-                kind="yield_trial",
-                label=f"rate={spec.rates.cell_stuck_off:g} chip={spec.sample_index}",
-                payload={
-                    "mapping": mapping,
-                    "hopfield": hopfield,
-                    "spec": spec,
-                    **trial_kwargs,
-                },
+            jobs = [
+                Job(
+                    kind="yield_trial",
+                    label=f"rate={spec.rates.cell_stuck_off:g} chip={spec.sample_index}",
+                    payload={
+                        "mapping": mapping,
+                        "hopfield": hopfield,
+                        "spec": spec,
+                        **trial_kwargs,
+                    },
+                )
+                for spec in specs
+            ]
+            runner = Runner(n_jobs=n_jobs, events=events)
+            outcomes = [result.value for result in runner.run(jobs)]
+        recorder.count("reliability.yield_trials", len(specs))
+        if recorder.enabled:
+            recorder.observe_many(
+                "reliability.recognition_repaired",
+                [o.recognition_repaired for o in outcomes],
             )
-            for spec in specs
-        ]
-        runner = Runner(n_jobs=n_jobs, events=events)
-        outcomes = [result.value for result in runner.run(jobs)]
 
     points: List[YieldPoint] = []
     for rate_index, rates in enumerate(rates_list):

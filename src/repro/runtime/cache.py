@@ -27,6 +27,7 @@ from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.observability import get_recorder
 from repro.runtime.jobs import Job
 from repro.utils.canonical import canonical, stable_hash
 
@@ -102,14 +103,22 @@ class ArtifactCache:
                 value = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
+            get_recorder().count("cache.misses")
+            self._record_hit_rate()
             return False, None
         except Exception:
             # Truncated/corrupt artifact (e.g. a killed writer on a
             # non-atomic filesystem): drop it and recompute.
             self.misses += 1
+            recorder = get_recorder()
+            recorder.count("cache.misses")
+            recorder.count("cache.evictions")
             self._remove(key)
+            self._record_hit_rate()
             return False, None
         self.hits += 1
+        get_recorder().count("cache.hits")
+        self._record_hit_rate()
         return True, value
 
     def store(self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> Path:
@@ -129,6 +138,7 @@ class ArtifactCache:
             path.with_suffix(".json"),
             (json.dumps(canonical(sidecar), sort_keys=True, indent=1) + "\n").encode("utf-8"),
         )
+        get_recorder().count("cache.stores")
         return path
 
     def contains(self, key: Optional[str]) -> bool:
@@ -158,6 +168,14 @@ class ArtifactCache:
         )
 
     # ------------------------------------------------------------------
+    def _record_hit_rate(self) -> None:
+        """Publish the running hit rate (last-write-wins gauge)."""
+        recorder = get_recorder()
+        if not recorder.enabled:
+            return
+        total = self.hits + self.misses
+        recorder.gauge("cache.hit_rate", self.hits / total if total else 0.0)
+
     def _remove(self, key: str) -> None:
         path = self.path_for(key)
         path.unlink(missing_ok=True)

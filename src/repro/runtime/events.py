@@ -17,6 +17,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, TextIO
 
+from repro.observability import get_recorder
 from repro.utils.canonical import canonical_json
 
 
@@ -44,7 +45,12 @@ class EventLog:
             self._trace = open(self.trace_path, "a", encoding="utf-8")
 
     def emit(self, event: str, **fields: Any) -> Dict[str, Any]:
-        """Record one event; returns the full record."""
+        """Record one event; returns the full record.
+
+        When a tracing recorder is active, the event is mirrored into the
+        trace as an instantaneous ``runtime.<event>`` mark (scalar fields
+        only), so sweeps and flow spans share one timeline.
+        """
         record = {"ts": time.time(), "event": event, **fields}
         self.events.append(record)
         if self._trace is not None:
@@ -52,6 +58,14 @@ class EventLog:
             self._trace.flush()
         if self.printer is not None:
             self.printer(record)
+        recorder = get_recorder()
+        if recorder.enabled:
+            scalars = {
+                key: value
+                for key, value in fields.items()
+                if isinstance(value, (str, int, float, bool))
+            }
+            recorder.event(f"runtime.{event}", **scalars)
         return record
 
     def of_kind(self, event: str) -> List[Dict[str, Any]]:

@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.observability import get_recorder, recording
 from repro.runtime.cache import ArtifactCache
 from repro.runtime.events import EventLog
 from repro.runtime.jobs import Job, JobResult, SweepSpec
@@ -114,11 +115,20 @@ def _job_stage_seconds(value: Any) -> Dict[str, float]:
     return {}
 
 
-def _execute_job(index: int, job: Job) -> Tuple[int, Any, float]:
+def _execute_job(
+    index: int, job: Job, record: bool = False
+) -> Tuple[int, Any, float, Optional[Dict[str, Any]]]:
     """Worker entry point: run one job and time it.
 
     Top-level (picklable) on purpose; the executor registry is rebuilt
     by module import inside the worker.
+
+    With ``record=True`` (the pool path when the driver is tracing) the
+    job runs under a fresh :class:`~repro.observability.Recorder` and the
+    picklable observability state travels back as the fourth element;
+    the driver folds it in with :meth:`Recorder.absorb`.  Inline jobs
+    pass ``record=False`` — they write directly to the driver's current
+    recorder — so the returned state is ``None``.
     """
     try:
         fn = _EXECUTORS[job.kind]
@@ -128,9 +138,19 @@ def _execute_job(index: int, job: Job) -> Tuple[int, Any, float]:
             f"(known: {registered_kinds()})"
         ) from None
     rng = None if job.seed is None else np.random.default_rng(job.seed)
+    if record:
+        with recording() as recorder:
+            with Timer() as timer:
+                with recorder.span("runner.job", label=job.label, kind=job.kind, index=index):
+                    value = fn(rng=rng, **job.payload)
+            state = recorder.export_state()
+        return index, value, timer.elapsed, state
     with Timer() as timer:
-        value = fn(rng=rng, **job.payload)
-    return index, value, timer.elapsed
+        with get_recorder().span(
+            "runner.job", label=job.label, kind=job.kind, index=index
+        ):
+            value = fn(rng=rng, **job.payload)
+    return index, value, timer.elapsed, None
 
 
 def default_n_jobs() -> int:
@@ -178,38 +198,42 @@ class Runner:
         """
         jobs = list(jobs)
         self.events.emit("sweep_started", jobs=len(jobs), n_jobs=self.n_jobs)
+        recorder = get_recorder()
         results: List[Optional[JobResult]] = [None] * len(jobs)
         pending: List[Tuple[int, Optional[str]]] = []
-        with Timer() as wall:
-            for index, job in enumerate(jobs):
-                key = self.cache.key_for(job) if self.cache is not None else None
-                hit, value = (self.cache.lookup(key) if key is not None else (False, None))
-                if hit:
-                    results[index] = JobResult(
-                        index=index,
-                        label=job.label,
-                        kind=job.kind,
-                        value=value,
-                        seconds=0.0,
-                        cache_hit=True,
-                        stage_seconds=_job_stage_seconds(value),
-                    )
-                    self.events.emit(
-                        "job_finished",
-                        label=job.label,
-                        kind=job.kind,
-                        index=index,
-                        seconds=0.0,
-                        cache_hit=True,
-                    )
+        with recorder.span("runner.sweep", jobs=len(jobs), n_jobs=self.n_jobs) as span:
+            with Timer() as wall:
+                for index, job in enumerate(jobs):
+                    key = self.cache.key_for(job) if self.cache is not None else None
+                    hit, value = (self.cache.lookup(key) if key is not None else (False, None))
+                    if hit:
+                        results[index] = JobResult(
+                            index=index,
+                            label=job.label,
+                            kind=job.kind,
+                            value=value,
+                            seconds=0.0,
+                            cache_hit=True,
+                            stage_seconds=_job_stage_seconds(value),
+                        )
+                        self.events.emit(
+                            "job_finished",
+                            label=job.label,
+                            kind=job.kind,
+                            index=index,
+                            seconds=0.0,
+                            cache_hit=True,
+                        )
+                    else:
+                        pending.append((index, key))
+                if self.n_jobs == 1 or len(pending) <= 1:
+                    for index, key in pending:
+                        self._finish(jobs, results, key, *self._run_inline(index, jobs[index]))
                 else:
-                    pending.append((index, key))
-            if self.n_jobs == 1 or len(pending) <= 1:
-                for index, key in pending:
-                    self._finish(jobs, results, key, *self._run_inline(index, jobs[index]))
-            else:
-                self._run_pool(jobs, results, pending)
-        executed = len(pending)
+                    self._run_pool(jobs, results, pending)
+            executed = len(pending)
+            recorder.count("runner.jobs_cached", len(jobs) - executed)
+            span.annotate(executed=executed, cache_hits=len(jobs) - executed)
         self.events.emit(
             "sweep_finished",
             jobs=len(jobs),
@@ -224,7 +248,9 @@ class Runner:
         return SweepResult(spec=spec, results=self.run(spec.jobs()))
 
     # ------------------------------------------------------------------
-    def _run_inline(self, index: int, job: Job) -> Tuple[int, Any, float]:
+    def _run_inline(
+        self, index: int, job: Job
+    ) -> Tuple[int, Any, float, Optional[Dict[str, Any]]]:
         self.events.emit("job_started", label=job.label, kind=job.kind, index=index)
         try:
             return _execute_job(index, job)
@@ -241,6 +267,9 @@ class Runner:
     ) -> None:
         keys = dict(pending)
         max_workers = min(self.n_jobs, len(pending))
+        # Workers only pay for recording when the driver is actually
+        # tracing; each ships its observability state back with the result.
+        record = get_recorder().enabled
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
             futures = {}
             for index, _key in pending:
@@ -248,14 +277,14 @@ class Runner:
                 self.events.emit(
                     "job_started", label=job.label, kind=job.kind, index=index
                 )
-                futures[pool.submit(_execute_job, index, job)] = index
+                futures[pool.submit(_execute_job, index, job, record)] = index
             outstanding = set(futures)
             while outstanding:
                 done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
                 for future in done:
                     index = futures[future]
                     try:
-                        _index, value, seconds = future.result()
+                        _index, value, seconds, obs_state = future.result()
                     except Exception as exc:
                         job = jobs[index]
                         for leftover in outstanding:
@@ -263,7 +292,9 @@ class Runner:
                         raise RuntimeError(
                             f"job {job.label!r} (kind={job.kind!r}) failed: {exc}"
                         ) from exc
-                    self._finish(jobs, results, keys[index], index, value, seconds)
+                    self._finish(
+                        jobs, results, keys[index], index, value, seconds, obs_state
+                    )
 
     def _finish(
         self,
@@ -273,8 +304,12 @@ class Runner:
         index: int,
         value: Any,
         seconds: float,
+        obs_state: Optional[Dict[str, Any]] = None,
     ) -> None:
         job = jobs[index]
+        recorder = get_recorder()
+        recorder.absorb(obs_state)
+        recorder.count("runner.jobs_executed")
         stage_seconds = _job_stage_seconds(value)
         results[index] = JobResult(
             index=index,

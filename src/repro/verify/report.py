@@ -119,6 +119,30 @@ class VerificationReport:
             "checks": {c.name: c.status for c in self.checks},
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible dict (the repo-wide result-object surface)."""
+        return {
+            **self.summary(),
+            "check_details": [
+                {
+                    "name": c.name,
+                    "status": c.status,
+                    "stats": dict(c.stats),
+                    "reason": c.reason,
+                    "violations": [
+                        {"check": v.check, "message": v.message, "context": dict(v.context)}
+                        for v in c.violations
+                    ],
+                }
+                for c in self.checks
+            ],
+            "metadata": dict(self.metadata),
+        }
+
+    def format_table(self) -> str:
+        """Alias of :meth:`format` (the repo-wide result-object surface)."""
+        return self.format()
+
     def format(self, max_violations_per_check: Optional[int] = 10) -> str:
         """Readable multi-line report (CLI output).
 

@@ -1,0 +1,96 @@
+"""Exporter tests: Chrome trace round-trip, metrics text, QoR table."""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability import (
+    Recorder,
+    chrome_trace_events,
+    format_qor_table,
+    read_chrome_trace,
+    write_chrome_trace,
+    write_metrics_text,
+)
+
+
+def _recorded() -> Recorder:
+    recorder = Recorder()
+    with recorder.span("flow.run", network="tb1"):
+        with recorder.span("flow.route", wires=9) as span:
+            span.annotate(overflow=0)
+    recorder.count("routing.ripup_retries", 2)
+    recorder.gauge("cache.hit_rate", 0.75)
+    recorder.observe_many("routing.path_bins", [3.0, 5.0])
+    return recorder
+
+
+class TestChromeTrace:
+    def test_events_shape(self):
+        events = chrome_trace_events(_recorded().tracer.spans)
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] > 0 and event["dur"] >= 0
+            assert event["cat"] == event["name"].split(".")[0]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["flow.route"]["args"]["parent"] == "flow.run"
+        assert by_name["flow.route"]["args"]["overflow"] == 0
+        # sorted by start time: parent opens before child
+        assert events[0]["name"] == "flow.run"
+
+    def test_file_is_valid_json_and_one_event_per_line(self, tmp_path):
+        path = write_chrome_trace(_recorded().tracer.spans, tmp_path / "t.jsonl")
+        text = path.read_text()
+        events = json.loads(text)  # loadable as a whole (Perfetto)
+        assert len(events) == 2
+        # one event per line between the brackets (greppable)
+        body = text.strip().splitlines()[1:-1]
+        assert len(body) == 2
+        for line in body:
+            json.loads(line.rstrip(","))
+
+    def test_read_round_trip(self, tmp_path):
+        recorder = _recorded()
+        path = write_chrome_trace(recorder.tracer.spans, tmp_path / "t.jsonl")
+        events = read_chrome_trace(path)
+        assert {e["name"] for e in events} == {"flow.run", "flow.route"}
+
+    def test_non_json_attributes_are_stringified(self, tmp_path):
+        recorder = Recorder()
+        with recorder.span("s", obj=object(), seq=(1, 2)):
+            pass
+        path = write_chrome_trace(recorder.tracer.spans, tmp_path / "t.jsonl")
+        (event,) = read_chrome_trace(path)
+        assert isinstance(event["args"]["obj"], str)
+        assert event["args"]["seq"] == [1, 2]
+
+    def test_accepts_exported_dicts(self):
+        exported = _recorded().tracer.export()
+        assert len(chrome_trace_events(exported)) == 2
+
+
+class TestMetricsText:
+    def test_write_with_header(self, tmp_path):
+        snapshot = _recorded().snapshot()
+        path = write_metrics_text(snapshot, tmp_path / "m.txt", header="run 1")
+        text = path.read_text()
+        assert text.startswith("run 1\n")
+        assert "routing.ripup_retries" in text
+        assert "cache.hit_rate" in text
+        assert "routing.path_bins" in text
+
+
+class TestQorTable:
+    def test_groups_by_stage_prefix(self):
+        table = format_qor_table(
+            _recorded().snapshot(), stage_seconds={"routing": 1.25}
+        )
+        assert "QoR summary" in table
+        assert "routing" in table and "(1.250 s)" in table
+        assert "artifact cache" in table
+        assert "routing.ripup_retries" in table
+
+    def test_empty_snapshot(self):
+        table = format_qor_table(Recorder().snapshot())
+        assert "no metrics recorded" in table

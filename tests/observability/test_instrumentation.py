@@ -1,0 +1,139 @@
+"""End-to-end instrumentation tests: real flows under a real recorder.
+
+These are the acceptance tests for the tentpole: a full ``AutoNCS``
+run/compare must produce spans for every flow stage and the headline
+counters, a sweep through the :mod:`repro.runtime` engine must fold
+worker metrics back into the driver, and the whole thing must stay
+silent when no recorder is installed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import AutoNCS
+from repro.core.config import fast_config
+from repro.networks import random_sparse_network
+from repro.observability import (
+    get_recorder,
+    read_chrome_trace,
+    recording,
+    write_chrome_trace,
+)
+
+FLOW_STAGES = ("flow.cluster", "flow.map", "flow.place", "flow.route", "flow.evaluate")
+
+
+@pytest.fixture(scope="module")
+def network():
+    return random_sparse_network(56, 0.07, rng=9, name="obs-net")
+
+
+@pytest.fixture(scope="module")
+def recorded_compare(network):
+    with recording() as recorder:
+        report = AutoNCS(fast_config()).compare(network, rng=4)
+    return recorder, report
+
+
+class TestFlowTracing:
+    def test_every_flow_stage_has_a_span(self, recorded_compare):
+        recorder, _report = recorded_compare
+        names = {span.name for span in recorder.tracer.spans}
+        for stage in FLOW_STAGES:
+            assert stage in names, f"missing span {stage}"
+        assert "flow.run" in names and "flow.run_baseline" in names
+        assert "flow.compare" in names
+
+    def test_span_hierarchy(self, recorded_compare):
+        recorder, _report = recorded_compare
+        run = recorder.tracer.named("flow.run")[0]
+        assert run.parent == "flow.compare"
+        assert run.attributes["network"] == "obs-net"
+        for stage in ("flow.cluster", "flow.map"):
+            assert recorder.tracer.named(stage)[0].parent == "flow.run"
+
+    def test_headline_counters_recorded(self, recorded_compare):
+        recorder, _report = recorded_compare
+        snapshot = recorder.snapshot()
+        assert snapshot.get("flow.runs") == 1
+        assert snapshot.get("flow.baseline_runs") == 1
+        assert snapshot.get("isc.runs") == 1
+        assert snapshot.get("placement.wa_evals", 0) > 0
+        assert snapshot.get("routing.wires_routed", 0) > 0
+        assert snapshot.get("routing.ripup_retries") is not None
+        assert snapshot.get("routing.heap_pushes", 0) > 0
+
+    def test_trace_round_trip_through_full_run(self, recorded_compare, tmp_path):
+        recorder, _report = recorded_compare
+        path = write_chrome_trace(recorder.tracer.spans, tmp_path / "flow.jsonl")
+        events = read_chrome_trace(path)
+        names = {e["name"] for e in events}
+        for stage in FLOW_STAGES:
+            assert stage in names
+        assert len(events) == len(recorder.tracer.spans)
+
+    def test_flow_quiet_without_recorder(self, network):
+        assert not get_recorder().enabled
+        AutoNCS(fast_config()).run(network, rng=4)
+        assert get_recorder().tracer.spans == []
+        assert get_recorder().snapshot().empty
+
+
+class TestRuntimeInstrumentation:
+    def test_sweep_folds_worker_metrics(self, tmp_path):
+        from repro.runtime import ArtifactCache, Runner, SweepSpec
+
+        spec = SweepSpec(
+            sizes=(24, 32), densities=(0.1,), seed=7, kind="autoncs",
+            config=fast_config(),
+        )
+        cache = ArtifactCache(tmp_path / "cache")
+        with recording() as recorder:
+            Runner(n_jobs=2, cache=cache).run_sweep(spec)
+        snapshot = recorder.snapshot()
+        assert snapshot.get("runner.jobs_executed") == 2
+        assert snapshot.get("cache.stores", 0) > 0
+        # worker-side flow counters folded back into the driver
+        assert snapshot.get("flow.runs") == 2
+        assert snapshot.get("placement.wa_evals", 0) > 0
+        # one runner.job span per executed job, absorbed with worker pids
+        jobs = recorder.tracer.named("runner.job")
+        assert len(jobs) == 2
+        assert recorder.tracer.named("runner.sweep")
+
+    def test_cached_rerun_counts_hits(self, tmp_path):
+        from repro.runtime import ArtifactCache, Runner, SweepSpec
+
+        spec = SweepSpec(
+            sizes=(24,), densities=(0.1,), seed=7, kind="autoncs",
+            config=fast_config(),
+        )
+        cache = ArtifactCache(tmp_path / "cache")
+        Runner(n_jobs=1, cache=cache).run_sweep(spec)  # warm, unrecorded
+        with recording() as recorder:
+            Runner(n_jobs=1, cache=cache).run_sweep(spec)
+        snapshot = recorder.snapshot()
+        assert snapshot.get("cache.hits") == 1
+        # The gauge is the cache *instance's* running rate: the warm run's
+        # miss stays in the denominator (1 miss + 1 hit = 0.5).
+        assert snapshot.get("cache.hit_rate") == 0.5
+        assert snapshot.get("runner.jobs_cached") == 1
+
+    def test_yield_eval_instrumented(self):
+        from repro.experiments.testbenches import build_testbench, scaled_testbench
+        from repro.reliability.yield_eval import evaluate_yield
+
+        instance = build_testbench(scaled_testbench(1, 24), rng=5)
+        result = AutoNCS(fast_config()).run(instance.network, rng=5)
+        with recording() as recorder:
+            evaluate_yield(
+                instance.hopfield,
+                result.mapping,
+                defect_rates=(0.2,),
+                samples=2,
+                rng=5,
+            )
+        snapshot = recorder.snapshot()
+        assert snapshot.get("reliability.yield_trials", 0) > 0
+        assert recorder.tracer.named("reliability.evaluate_yield")

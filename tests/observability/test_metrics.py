@@ -1,0 +1,113 @@
+"""Unit tests for the typed metric instruments and the registry."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge("x")
+        g.set(3.5)
+        g.set(1.25)
+        assert g.value == 1.25
+
+    def test_histogram_summary(self):
+        h = Histogram("x")
+        h.observe_many([1.0, 2.0, 3.0])
+        h.observe(10.0)
+        summary = h.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 10.0
+        assert summary["total"] == pytest.approx(16.0)
+        assert summary["mean"] == pytest.approx(4.0)
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_is_immutable_read(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        snap = reg.snapshot()
+        reg.counter("a").inc(10)
+        assert snap.get("a") == 2
+        assert reg.snapshot().get("a") == 12
+
+    def test_absorb_folds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.histogram("h").observe_many([1.0, 2.0])
+        b.histogram("h").observe_many([3.0, 5.0])
+        a.absorb(b.snapshot())
+        snap = a.snapshot()
+        assert snap.get("n") == 5
+        assert snap.get("g") == 9.0  # last write wins
+        h = snap.histograms["h"]
+        assert h["count"] == 4
+        assert h["total"] == pytest.approx(11.0)
+        assert h["min"] == 1.0 and h["max"] == 5.0
+
+
+class TestSnapshot:
+    def _snapshot(self) -> MetricsSnapshot:
+        reg = MetricsRegistry()
+        reg.counter("routing.ripup_retries").inc(7)
+        reg.gauge("cache.hit_rate").set(0.5)
+        reg.histogram("isc.crossbar_size").observe(64.0)
+        return reg.snapshot()
+
+    def test_round_trips_through_pickle(self):
+        snap = self._snapshot()
+        clone = pickle.loads(pickle.dumps(snap))
+        assert clone.to_dict() == snap.to_dict()
+
+    def test_to_dict_and_format_table(self):
+        snap = self._snapshot()
+        data = snap.to_dict()
+        assert data["counters"]["routing.ripup_retries"] == 7
+        table = snap.format_table()
+        assert "routing.ripup_retries" in table
+        assert "cache.hit_rate" in table
+
+    def test_empty(self):
+        assert MetricsSnapshot().empty
+        assert not self._snapshot().empty
+
+    def test_merge(self):
+        merged = self._snapshot().merge(self._snapshot())
+        assert merged.get("routing.ripup_retries") == 14
+        assert merged.histograms["isc.crossbar_size"]["count"] == 2

@@ -37,6 +37,21 @@ class TestParser:
         args = build_parser().parse_args(["reliability", "--jobs", "3"])
         assert args.jobs == 3
 
+    def test_compare_testbench_accepts_tb_prefix(self):
+        assert build_parser().parse_args(["compare", "--testbench", "tb1"]).testbench == 1
+        assert build_parser().parse_args(["compare", "--testbench", "2"]).testbench == 2
+
+    def test_compare_testbench_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--testbench", "tb9"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--testbench", "nope"])
+
+    def test_observability_flags_default_off(self):
+        for command in ("compare", "verify"):
+            args = build_parser().parse_args([command])
+            assert args.trace is None and args.metrics is None
+
 
 class TestCommands:
     def test_cluster_on_small_network(self, capsys):
@@ -120,6 +135,56 @@ class TestCommands:
         assert main(argv + ["--jobs", "2"]) == 0
         parallel = cost_lines(capsys.readouterr().out)
         assert parallel == serial
+
+
+class TestObservability:
+    """The acceptance path: compare on a testbench with trace + metrics."""
+
+    def test_compare_testbench_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.txt"
+        code = main([
+            "compare", "--testbench", "tb1", "--dimension", "48", "--fast",
+            "--trace", str(trace), "--metrics", str(metrics),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"trace written to {trace}" in out
+        assert f"metrics written to {metrics}" in out
+
+        events = json.loads(trace.read_text())  # Perfetto-loadable
+        names = {event["name"] for event in events}
+        for stage in ("flow.cluster", "flow.map", "flow.place",
+                      "flow.route", "flow.evaluate"):
+            assert stage in names, f"missing {stage} span"
+        assert all(event["ph"] == "X" for event in events)
+
+        dump = metrics.read_text()
+        assert "routing.ripup_retries" in dump
+        assert "placement.wa_evals" in dump
+        assert "cache.hit_rate" in dump
+
+    def test_verify_with_metrics(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.txt"
+        code = main([
+            "verify", "--neurons", "48", "--density", "0.08", "--seed", "3",
+            "--fast", "--checks", "coverage", "hardware",
+            "--metrics", str(metrics),
+        ])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+        assert "isc.runs" in metrics.read_text()
+
+    def test_no_flags_leaves_null_recorder(self, capsys):
+        from repro.observability import NULL_RECORDER, get_recorder
+
+        code = main(["compare", "--fast", "--neurons", "48",
+                     "--density", "0.08", "--seed", "2"])
+        assert code == 0
+        assert get_recorder() is NULL_RECORDER
+        assert NULL_RECORDER.tracer.spans == []
 
 
 class TestSweepCommand:
