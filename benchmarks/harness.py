@@ -1,0 +1,19 @@
+#!/usr/bin/env python
+"""Standalone entry for the perf harness (same surface as ``repro bench``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/harness.py --fast
+    PYTHONPATH=src python benchmarks/harness.py --fast --check
+    PYTHONPATH=src python benchmarks/harness.py --update-baseline
+
+See :mod:`repro.bench` for the suites, the JSON schema and the
+regression policy.
+"""
+
+import sys
+
+from repro.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,6 +65,10 @@ def map_network(
         Flow configuration; defaults to the paper settings
         (:class:`~repro.core.config.AutoNcsConfig`; see also
         :func:`~repro.core.config.fast_config` for quick previews).
+        The routing algorithm is selected here: pass
+        ``AutoNcsConfig(routing=RoutingConfig(algorithm="negotiated"))``
+        for PathFinder-style negotiated congestion instead of the
+        paper's ordered route with capacity relaxation.
     seed:
         RNG seed material (int, :class:`numpy.random.Generator` or
         ``None`` for nondeterministic).

@@ -1,0 +1,524 @@
+"""``repro.bench`` — the machine-readable perf-regression harness.
+
+Every future PR must be able to *prove* a speedup and *protect* it
+against regression.  This module runs tagged micro/flow benchmarks under
+the runtime :class:`~repro.runtime.runner.Runner`, records wall time +
+QoR + observability counters for each, and emits schema-versioned JSON
+trajectories (``BENCH_routing.json`` / ``BENCH_flow.json`` at the repo
+root) that ``--check`` gates future runs against.
+
+Suites
+------
+``routing``
+    Micro-benchmarks of the global router in isolation: each scaled
+    paper testbench is clustered, mapped and placed once, then routed
+    with both algorithms (``ordered`` and ``negotiated``).  QoR is
+    wirelength / overflow / rip-up statistics; counters are the maze
+    search totals (heap pushes/pops, visited bins).
+``flow``
+    End-to-end ``AutoNCS.run`` on testbench 1 with both routing
+    algorithms — wall time, per-stage seconds and the eq. (3) cost
+    metrics.
+
+Regression policy
+-----------------
+All gated metrics are lower-is-better.  A candidate metric regresses
+when it exceeds ``baseline · (1 + threshold/100) + atol`` (small
+per-metric absolute slack absorbs benign cross-platform drift, see
+``_ATOL``).  Wall time is machine-dependent and is only gated when an
+explicit ``--time-threshold`` is passed; QoR and counters are
+deterministic for a fixed seed and are gated by default.  Refresh the
+committed baselines intentionally with ``--update-baseline`` (the
+``--update-golden`` of the perf layer) and commit the diff.
+
+Entry points: ``python -m repro bench`` and ``python benchmarks/harness.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Bump when the BENCH_*.json layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: The known suites, in run order.
+SUITES = ("routing", "flow")
+
+#: suite -> committed baseline file name (repo root).
+BASELINE_FILES = {suite: f"BENCH_{suite}.json" for suite in SUITES}
+
+#: Default regression threshold (percent) for QoR metrics and counters.
+DEFAULT_THRESHOLD_PCT = 20.0
+
+#: Suite-default testbench dimensions: CI smoke vs full trajectory.
+FAST_DIMENSION = 64
+FULL_DIMENSION = 120
+
+#: Absolute slack per metric name — integer-ish metrics that legitimately
+#: wobble by a few units across platforms (eigensolver/BLAS drift moves
+#: the placement slightly, which moves routing decisions).
+_ATOL = {
+    "overflow_wires": 2.0,
+    "relax_rounds": 1.0,
+    "ripup_iterations": 2.0,
+    "ripups": 48.0,
+    "routing.maze_searches": 16.0,
+}
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark's measurements: wall time, QoR and counters."""
+
+    name: str
+    tags: List[str]
+    wall_seconds: float
+    qor: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class SuiteResult:
+    """One suite's full run, ready to serialize as ``BENCH_<suite>.json``."""
+
+    suite: str
+    mode: str  # "fast" | "full"
+    seed: int
+    dimension: int
+    package_version: str
+    benchmarks: List[BenchRecord] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "suite": self.suite,
+            "mode": self.mode,
+            "seed": self.seed,
+            "dimension": self.dimension,
+            "package_version": self.package_version,
+            "benchmarks": [record.to_dict() for record in self.benchmarks],
+        }
+
+    def format_table(self) -> str:
+        """Aligned plain-text summary (the repo-wide result-object surface)."""
+        lines = [
+            f"bench suite {self.suite!r} — mode={self.mode} seed={self.seed} "
+            f"dimension={self.dimension}"
+        ]
+        width = max((len(r.name) for r in self.benchmarks), default=4)
+        for record in self.benchmarks:
+            qor = "  ".join(
+                f"{k}={v:,.1f}" if isinstance(v, float) else f"{k}={v}"
+                for k, v in record.qor.items()
+            )
+            lines.append(
+                f"  {record.name:<{width}}  {record.wall_seconds:8.3f}s  {qor}"
+            )
+        return "\n".join(lines)
+
+
+def suite_result_from_dict(payload: dict) -> SuiteResult:
+    """Rebuild a :class:`SuiteResult` from a ``BENCH_*.json`` payload.
+
+    Raises ``ValueError`` on schema mismatches, so consumers fail loudly
+    instead of silently comparing incompatible trajectories.
+    """
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported bench schema_version {version!r} "
+            f"(this build reads {SCHEMA_VERSION})"
+        )
+    for key in ("suite", "mode", "seed", "dimension", "benchmarks"):
+        if key not in payload:
+            raise ValueError(f"bench payload is missing the {key!r} field")
+    return SuiteResult(
+        suite=str(payload["suite"]),
+        mode=str(payload["mode"]),
+        seed=int(payload["seed"]),
+        dimension=int(payload["dimension"]),
+        package_version=str(payload.get("package_version", "")),
+        benchmarks=[
+            BenchRecord(
+                name=str(entry["name"]),
+                tags=[str(tag) for tag in entry.get("tags", [])],
+                wall_seconds=float(entry["wall_seconds"]),
+                qor={k: float(v) for k, v in entry.get("qor", {}).items()},
+                counters={k: float(v) for k, v in entry.get("counters", {}).items()},
+            )
+            for entry in payload["benchmarks"]
+        ],
+    )
+
+
+def write_suite_json(result: SuiteResult, path: Path) -> None:
+    """Serialize one suite to ``path`` (stable key order, trailing newline)."""
+    path.write_text(
+        json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_suite_json(path: Path) -> SuiteResult:
+    """Load and schema-validate one ``BENCH_*.json`` file."""
+    return suite_result_from_dict(json.loads(path.read_text(encoding="utf-8")))
+
+
+# ----------------------------------------------------------------------
+# Benchmark executors (module-level: they run as runtime Runner jobs)
+# ----------------------------------------------------------------------
+def _counters_of(snapshot, prefix: str = "routing.") -> Dict[str, float]:
+    return {
+        name: float(value)
+        for name, value in snapshot.counters.items()
+        if name.startswith(prefix)
+    }
+
+
+def _bench_routing_case(rng, *, netlist, placement, technology, algorithm):
+    """Route one placed netlist with ``algorithm``; return measurements."""
+    from repro.observability import Recorder, recording
+    from repro.physical.routing.router import RoutingConfig, route
+    from repro.utils.timers import Timer
+
+    recorder = Recorder()
+    with recording(recorder):
+        with Timer() as timer:
+            result = route(
+                netlist,
+                placement,
+                technology=technology,
+                config=RoutingConfig(algorithm=algorithm),
+            )
+    return {
+        "wall_seconds": timer.elapsed,
+        "qor": {
+            "wirelength_um": result.total_wirelength_um,
+            "overflow_wires": float(result.overflow_wires),
+            "relax_rounds": float(result.relax_rounds),
+            "ripup_iterations": float(result.ripup_iterations),
+            "ripups": float(result.ripups),
+        },
+        "counters": _counters_of(recorder.snapshot()),
+    }
+
+
+def _bench_flow_case(rng, *, network, config):
+    """Run the full AutoNCS flow; return wall time + cost + counters."""
+    from repro.core.autoncs import AutoNCS
+    from repro.observability import Recorder, recording
+    from repro.utils.timers import Timer
+
+    recorder = Recorder()
+    with recording(recorder):
+        with Timer() as timer:
+            result = AutoNCS(config).run(network, rng=rng)
+    cost = result.design.cost
+    return {
+        "wall_seconds": timer.elapsed,
+        "qor": {
+            "wirelength_um": cost.wirelength_um,
+            "area_um2": cost.area_um2,
+            "delay_ns": cost.average_delay_ns,
+            "overflow_wires": float(result.design.routing.overflow_wires),
+        },
+        "counters": _counters_of(recorder.snapshot()),
+    }
+
+
+def _register_executors() -> None:
+    from repro.runtime import register_executor
+
+    register_executor("bench_routing", _bench_routing_case)
+    register_executor("bench_flow", _bench_flow_case)
+
+
+# ----------------------------------------------------------------------
+# Suite drivers
+# ----------------------------------------------------------------------
+def _placed_testbench(index: int, dimension: int, seed: int):
+    """Cluster, map and place one scaled testbench (shared across cases)."""
+    from repro.core.autoncs import AutoNCS
+    from repro.experiments.testbenches import build_testbench, scaled_testbench
+    from repro.mapping.autoncs_mapping import autoncs_mapping
+    from repro.physical.placement.placer import place
+
+    flow = AutoNCS()
+    instance = build_testbench(scaled_testbench(index, dimension), rng=seed)
+    isc = flow.cluster(instance.network, rng=np.random.default_rng(seed))
+    mapping = autoncs_mapping(isc, library=flow.library)
+    placement = place(
+        mapping.netlist,
+        technology=flow.config.technology,
+        rng=np.random.default_rng(seed),
+    )
+    return instance.network, mapping.netlist, placement, flow.config.technology
+
+
+def run_suite(
+    suite: str,
+    *,
+    fast: bool = False,
+    seed: int = 42,
+    jobs: int = 1,
+    dimension: Optional[int] = None,
+    testbenches: Sequence[int] = (1, 2, 3),
+) -> SuiteResult:
+    """Run one benchmark suite and return its :class:`SuiteResult`.
+
+    ``dimension`` overrides the suite-default scaled-testbench size
+    (useful for tests and quick local iteration); ``testbenches``
+    narrows the paper testbenches covered.
+    """
+    import repro
+    from repro.runtime import Job, Runner
+
+    if suite not in SUITES:
+        raise ValueError(f"unknown bench suite {suite!r} (known: {SUITES})")
+    _register_executors()
+    mode = "fast" if fast else "full"
+    dim = dimension if dimension else (FAST_DIMENSION if fast else FULL_DIMENSION)
+    result = SuiteResult(
+        suite=suite,
+        mode=mode,
+        seed=seed,
+        dimension=dim,
+        package_version=repro.__version__,
+    )
+    jobs_list: List[Job] = []
+    names: List[Tuple[str, List[str]]] = []
+    if suite == "routing":
+        for index in testbenches:
+            network, netlist, placement, technology = _placed_testbench(
+                index, dim, seed
+            )
+            for algorithm in ("ordered", "negotiated"):
+                jobs_list.append(
+                    Job(
+                        kind="bench_routing",
+                        label=f"route tb{index} {algorithm}",
+                        payload={
+                            "netlist": netlist,
+                            "placement": placement,
+                            "technology": technology,
+                            "algorithm": algorithm,
+                        },
+                        seed=seed,
+                    )
+                )
+                names.append(
+                    (f"tb{index}.{algorithm}", ["routing", algorithm, f"tb{index}"])
+                )
+    else:  # flow
+        from repro.core.config import AutoNcsConfig
+        from repro.experiments.testbenches import build_testbench, scaled_testbench
+        from repro.physical.routing.router import RoutingConfig
+
+        index = min(testbenches)
+        instance = build_testbench(scaled_testbench(index, dim), rng=seed)
+        for algorithm in ("ordered", "negotiated"):
+            config = AutoNcsConfig(routing=RoutingConfig(algorithm=algorithm))
+            jobs_list.append(
+                Job(
+                    kind="bench_flow",
+                    label=f"flow tb{index} {algorithm}",
+                    payload={"network": instance.network, "config": config},
+                    seed=seed,
+                )
+            )
+            names.append(
+                (f"flow.tb{index}.{algorithm}", ["flow", algorithm, f"tb{index}"])
+            )
+    outcomes = Runner(n_jobs=jobs).run(jobs_list)
+    for (name, tags), outcome in zip(names, outcomes):
+        measurement = outcome.value
+        result.benchmarks.append(
+            BenchRecord(
+                name=name,
+                tags=tags,
+                wall_seconds=float(measurement["wall_seconds"]),
+                qor=measurement["qor"],
+                counters=measurement["counters"],
+            )
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+def compare_to_baseline(
+    candidate: SuiteResult,
+    baseline: SuiteResult,
+    threshold_pct: float = DEFAULT_THRESHOLD_PCT,
+    time_threshold_pct: Optional[float] = None,
+) -> List[str]:
+    """All regressions of ``candidate`` vs ``baseline`` as human messages.
+
+    An empty list means the gate passes.  Metrics are lower-is-better:
+    a regression is ``candidate > baseline · (1 + threshold/100) + atol``.
+    New benchmarks in the candidate pass (there is nothing to compare);
+    benchmarks missing from the candidate fail (silent coverage loss).
+    """
+    failures: List[str] = []
+    if candidate.suite != baseline.suite:
+        return [
+            f"suite mismatch: candidate {candidate.suite!r} vs "
+            f"baseline {baseline.suite!r}"
+        ]
+    if candidate.mode != baseline.mode or candidate.dimension != baseline.dimension:
+        return [
+            f"run parameters differ from the baseline (mode/dimension "
+            f"{candidate.mode}/{candidate.dimension} vs "
+            f"{baseline.mode}/{baseline.dimension}) — rerun with matching "
+            "flags or refresh the baseline with --update-baseline"
+        ]
+    by_name = {record.name: record for record in candidate.benchmarks}
+    for base in baseline.benchmarks:
+        mine = by_name.get(base.name)
+        if mine is None:
+            failures.append(f"{base.name}: benchmark disappeared from the run")
+            continue
+        gated = [
+            (metric, base.qor.get(metric), mine.qor.get(metric))
+            for metric in base.qor
+        ] + [
+            (metric, base.counters.get(metric), mine.counters.get(metric))
+            for metric in base.counters
+        ]
+        for metric, old, new in gated:
+            if new is None:
+                failures.append(f"{base.name}: metric {metric!r} disappeared")
+                continue
+            limit = old * (1.0 + threshold_pct / 100.0) + _ATOL.get(metric, 0.0)
+            if new > limit:
+                failures.append(
+                    f"{base.name}: {metric} regressed {old:,.2f} → {new:,.2f} "
+                    f"(limit {limit:,.2f} at +{threshold_pct:g}%)"
+                )
+        if time_threshold_pct is not None:
+            limit = base.wall_seconds * (1.0 + time_threshold_pct / 100.0)
+            if mine.wall_seconds > limit:
+                failures.append(
+                    f"{base.name}: wall_seconds regressed "
+                    f"{base.wall_seconds:.3f} → {mine.wall_seconds:.3f} "
+                    f"(limit {limit:.3f} at +{time_threshold_pct:g}%)"
+                )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``bench`` argument surface (shared by CLI and harness script)."""
+    parser.add_argument("--suites", nargs="+", choices=SUITES, default=list(SUITES),
+                        help="benchmark suites to run (default: all)")
+    parser.add_argument("--fast", action="store_true",
+                        help="reduced-scale CI smoke mode (smaller testbenches)")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="benchmark seed (default 42)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="runtime worker processes (default 1)")
+    parser.add_argument("--dimension", type=int, default=0,
+                        help="override the scaled-testbench size "
+                             "(0 = suite default)")
+    parser.add_argument("--testbenches", type=int, nargs="+", default=[1, 2, 3],
+                        choices=(1, 2, 3),
+                        help="paper testbenches to cover (default 1 2 3)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed BENCH_*.json "
+                             "baselines and exit 1 on regression (read-only)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the BENCH_*.json baselines with this "
+                             "run's numbers (the --update-golden of perf)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD_PCT,
+                        help="QoR/counter regression threshold in percent "
+                             f"(default {DEFAULT_THRESHOLD_PCT:g})")
+    parser.add_argument("--time-threshold", type=float, default=None,
+                        help="also gate wall time at this percent threshold "
+                             "(default: wall time not gated — machines differ)")
+    parser.add_argument("--baseline-dir", default=".",
+                        help="directory holding the committed BENCH_*.json "
+                             "baselines (default: current directory)")
+    parser.add_argument("--output-dir", default=None,
+                        help="where to write this run's BENCH_*.json files "
+                             "(default: baseline dir; with --check: nowhere)")
+
+
+def run_bench_command(args: argparse.Namespace) -> int:
+    """Execute the ``bench`` command; returns the process exit status."""
+    if args.check and args.update_baseline:
+        print("error: --check and --update-baseline are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    baseline_dir = Path(args.baseline_dir)
+    output_dir = Path(args.output_dir) if args.output_dir else None
+    exit_status = 0
+    for suite in args.suites:
+        result = run_suite(
+            suite,
+            fast=args.fast,
+            seed=args.seed,
+            jobs=args.jobs,
+            dimension=args.dimension or None,
+            testbenches=tuple(args.testbenches),
+        )
+        print(result.format_table())
+        baseline_path = baseline_dir / BASELINE_FILES[suite]
+        if args.check:
+            if not baseline_path.exists():
+                print(f"FAIL {suite}: no baseline at {baseline_path} — "
+                      "create one with `python -m repro bench --update-baseline`")
+                exit_status = 1
+            else:
+                try:
+                    baseline = load_suite_json(baseline_path)
+                except ValueError as exc:
+                    print(f"FAIL {suite}: unreadable baseline: {exc}")
+                    exit_status = 1
+                else:
+                    failures = compare_to_baseline(
+                        result, baseline,
+                        threshold_pct=args.threshold,
+                        time_threshold_pct=args.time_threshold,
+                    )
+                    if failures:
+                        exit_status = 1
+                        print(f"FAIL {suite}: {len(failures)} regression(s) "
+                              f"vs {baseline_path}:")
+                        for failure in failures:
+                            print(f"  - {failure}")
+                    else:
+                        print(f"OK {suite}: no regression vs {baseline_path}")
+            if output_dir is not None:
+                output_dir.mkdir(parents=True, exist_ok=True)
+                write_suite_json(result, output_dir / BASELINE_FILES[suite])
+        else:
+            target_dir = output_dir if output_dir is not None else baseline_dir
+            target_dir.mkdir(parents=True, exist_ok=True)
+            target = target_dir / BASELINE_FILES[suite]
+            write_suite_json(result, target)
+            print(f"wrote {target}")
+    return exit_status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python benchmarks/harness.py``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="machine-readable perf harness: run tagged benchmarks, "
+                    "emit BENCH_*.json, gate regressions",
+    )
+    add_bench_arguments(parser)
+    return run_bench_command(parser.parse_args(argv))

@@ -23,6 +23,10 @@ Commands
     and independently verify the result: coverage, hardware legality,
     physical legality, functional equivalence.  Exit status 1 on any
     violation.
+``bench``
+    Run the perf harness (:mod:`repro.bench`): tagged routing/flow
+    benchmarks emitting schema-versioned ``BENCH_*.json``, with
+    ``--check`` regression gating against the committed baselines.
 """
 
 from __future__ import annotations
@@ -109,6 +113,20 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
                         help="write the plain-text metrics dump to FILE")
 
 
+def _apply_router(config: AutoNcsConfig, router: Optional[str]) -> AutoNcsConfig:
+    """Override the routing algorithm when ``--router`` asked for one."""
+    if not router:
+        return config
+    import dataclasses
+
+    from repro.physical.routing.router import RoutingConfig
+
+    routing = config.routing if config.routing is not None else RoutingConfig()
+    return dataclasses.replace(
+        config, routing=dataclasses.replace(routing, algorithm=router)
+    )
+
+
 def _load_or_generate(args: argparse.Namespace) -> ConnectionMatrix:
     if getattr(args, "load", None):
         return load_network_npz(args.load)
@@ -141,7 +159,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         network, _hopfield = _resolve_testbench_network(args)
     else:
         network = _load_or_generate(args)
-    config: AutoNcsConfig = fast_config() if args.fast else AutoNcsConfig()
+    config = _apply_router(fast_config() if args.fast else AutoNcsConfig(), args.router)
     print(f"network: {network}")
     with _observability(args.trace, args.metrics):
         report = api_compare(network, config=config, seed=args.seed, n_jobs=args.jobs)
@@ -242,7 +260,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.api import verify as api_verify
 
-    config: AutoNcsConfig = fast_config() if args.fast else AutoNcsConfig()
+    config = _apply_router(fast_config() if args.fast else AutoNcsConfig(), args.router)
     hopfield = None
     if args.testbench:
         network, hopfield = _resolve_testbench_network(args)
@@ -260,6 +278,12 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         )
     print(report.format())
     return 0 if report.passed else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_bench_command
+
+    return run_bench_command(args)
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
@@ -301,6 +325,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--jobs", type=int, default=1,
                          help="worker processes for the two flows (default 1; "
                               "results are identical for any value)")
+    compare.add_argument("--router", choices=("ordered", "negotiated"), default=None,
+                         help="routing algorithm override (default: config's, "
+                              "i.e. ordered)")
     _add_observability_arguments(compare)
     compare.set_defaults(func=_cmd_compare)
 
@@ -385,8 +412,19 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--checks", nargs="+",
                         choices=("coverage", "hardware", "physical", "functional"),
                         help="run only these checks (default: all)")
+    verify.add_argument("--router", choices=("ordered", "negotiated"), default=None,
+                        help="routing algorithm override (default: config's, "
+                             "i.e. ordered)")
     _add_observability_arguments(verify)
     verify.set_defaults(func=_cmd_verify)
+
+    bench = sub.add_parser(
+        "bench", help="perf harness: run benchmarks, emit/check BENCH_*.json"
+    )
+    from repro.bench import add_bench_arguments
+
+    add_bench_arguments(bench)
+    bench.set_defaults(func=_cmd_bench)
 
     render = sub.add_parser("render", help="render a saved network to SVG")
     render.add_argument("network", help="a .npz network file")

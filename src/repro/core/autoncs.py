@@ -170,6 +170,11 @@ def _relaxed_routing_config(base: RoutingConfig, config: AutoNcsConfig) -> Routi
         overflow_penalty=base.overflow_penalty,
         region_margin_bins=base.region_margin_bins,
         max_grid_bins=base.max_grid_bins,
+        algorithm=base.algorithm,
+        max_ripup_iterations=base.max_ripup_iterations + 8,
+        present_weight=base.present_weight,
+        present_growth=base.present_growth,
+        history_increment=base.history_increment,
     )
 
 

@@ -9,6 +9,15 @@ the caller allows overflow (used by the final never-fail pass).
 The inner search runs on flat numpy arrays reused across calls (an epoch
 counter invalidates stale state instead of reallocating), which keeps the
 per-wire cost low enough to route tens of thousands of wires in seconds.
+
+The same wave expansion also serves the negotiated-congestion router
+(:mod:`repro.physical.routing.negotiated`): passing ``present_weight``
+switches the edge cost to the PathFinder form
+``θ · (1 + history) · (1 + present_weight · overuse)`` where the history
+arrays live on the :class:`MazeWorkspace` (``ensure_history``) and
+``overuse`` counts how far past capacity the edge would go if this wire
+were added.  Edges are then never blocked — congestion is negotiated
+through rising present costs and accumulated history, not hard walls.
 """
 
 from __future__ import annotations
@@ -43,11 +52,23 @@ class MazeWorkspace:
         self.heap_pops = 0
         self.visited_bins = 0
         self.searches = 0
+        self.ripups = 0
+        # Negotiated-congestion history costs (dimensionless multiples of
+        # θ), allocated lazily so the ordered router pays nothing.
+        self.h_history: Optional[np.ndarray] = None
+        self.v_history: Optional[np.ndarray] = None
 
     def begin(self) -> None:
         """Start a fresh search; previous state becomes stale by epoch."""
         self.epoch += 1
         self.searches += 1
+
+    def ensure_history(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The per-edge history-cost arrays, allocating them on first use."""
+        if self.h_history is None:
+            self.h_history = np.zeros(self.grid.horizontal_usage.shape)
+            self.v_history = np.zeros(self.grid.vertical_usage.shape)
+        return self.h_history, self.v_history
 
 
 def maze_route(
@@ -59,6 +80,7 @@ def maze_route(
     allow_overflow: bool = False,
     overflow_penalty: float = 10.0,
     workspace: Optional[MazeWorkspace] = None,
+    present_weight: Optional[float] = None,
 ) -> Optional[List[BinCoord]]:
     """Find a min-cost bin path from ``start`` to ``goal``.
 
@@ -66,9 +88,14 @@ def maze_route(
     at capacity is impassable unless ``allow_overflow`` is set, in which
     case it costs an extra factor ``overflow_penalty``.
 
+    With ``present_weight`` set the search instead uses the negotiated
+    (PathFinder) cost ``θ · (1 + history) · (1 + present_weight ·
+    overuse)`` against the workspace's history arrays; edges are never
+    blocked in that mode.
+
     Returns the bin path including both endpoints, or ``None`` when no
-    path exists under the current capacities (with ``allow_overflow`` a
-    path always exists on a connected grid).
+    path exists under the current capacities (with ``allow_overflow`` or
+    ``present_weight`` a path always exists on a connected grid).
     """
     if window_margin < 0:
         raise ValueError(f"window_margin must be >= 0, got {window_margin}")
@@ -76,13 +103,13 @@ def maze_route(
         workspace = MazeWorkspace(grid)
     path = _a_star(
         grid, start, goal, window_margin, congestion_weight,
-        allow_overflow, overflow_penalty, workspace,
+        allow_overflow, overflow_penalty, workspace, present_weight,
     )
     if path is None and window_margin < max(grid.nx, grid.ny):
         # Window too tight (congestion detour outside it) — search the full grid.
         path = _a_star(
             grid, start, goal, max(grid.nx, grid.ny), congestion_weight,
-            allow_overflow, overflow_penalty, workspace,
+            allow_overflow, overflow_penalty, workspace, present_weight,
         )
     return path
 
@@ -96,6 +123,7 @@ def _a_star(
     allow_overflow: bool,
     overflow_penalty: float,
     ws: MazeWorkspace,
+    present_weight: Optional[float] = None,
 ) -> Optional[List[BinCoord]]:
     nx, ny = grid.nx, grid.ny
     lo_x = max(0, min(start[0], goal[0]) - window_margin)
@@ -108,6 +136,9 @@ def _a_star(
     v_usage = grid.vertical_usage
     h_capacity = grid.horizontal_capacity
     v_capacity = grid.vertical_capacity
+    negotiated = present_weight is not None
+    if negotiated:
+        h_history, v_history = ws.ensure_history()
 
     ws.begin()
     epoch = ws.epoch
@@ -159,10 +190,18 @@ def _a_star(
             if dx != 0:
                 ex = cx if dx > 0 else nbx
                 usage, capacity = h_usage[ex, cy], h_capacity[ex, cy]
+                history = h_history[ex, cy] if negotiated else 0.0
             else:
                 ey = cy if dy > 0 else nby
                 usage, capacity = v_usage[cx, ey], v_capacity[cx, ey]
-            if usage >= capacity:
+                history = v_history[cx, ey] if negotiated else 0.0
+            if negotiated:
+                # PathFinder cost: congestion is priced, never blocked.
+                overuse = usage + 1 - capacity
+                step = theta * (1.0 + history)
+                if overuse > 0:
+                    step *= 1.0 + present_weight * overuse
+            elif usage >= capacity:
                 if not allow_overflow:
                     continue
                 step = theta * (1.0 + congestion_weight) * overflow_penalty

@@ -10,6 +10,16 @@ order.  In that case, the virtual capacity will be relaxed for rerouting
 failed wires until all wires are routed."  A final allow-overflow pass
 guarantees completion even under extreme congestion (reported in the
 result's overflow statistics).
+
+Two algorithms share this driver, selected by
+``RoutingConfig.algorithm``:
+
+* ``"ordered"`` (the paper's) — single-pass ordered routing with
+  capacity relaxation and the never-fail overflow pass described above;
+* ``"negotiated"`` — PathFinder-style negotiated-congestion rip-up and
+  reroute (:mod:`repro.physical.routing.negotiated`): congestion is
+  priced instead of blocked, and only the wires crossing overused edges
+  are iteratively ripped up under rising present + history costs.
 """
 
 from __future__ import annotations
@@ -25,6 +35,10 @@ from repro.observability import get_recorder
 from repro.physical.layout import Placement
 from repro.physical.routing.grid import BinCoord, RoutingGrid
 from repro.physical.routing.maze import MazeWorkspace, maze_route
+from repro.physical.routing.negotiated import negotiate_routes
+
+#: The routing algorithms ``route`` can dispatch to.
+ROUTING_ALGORITHMS = ("ordered", "negotiated")
 
 
 @dataclass
@@ -32,6 +46,14 @@ class RoutingConfig:
     """Tuning knobs of the global router.
 
     ``None`` values fall back to the technology parameters (θ, capacity).
+
+    ``algorithm`` selects the router: ``"ordered"`` is the paper's
+    single-pass ordered route with capacity relaxation;
+    ``"negotiated"`` is PathFinder-style negotiated-congestion rip-up
+    and reroute.  The ``max_ripup_iterations`` / ``present_weight`` /
+    ``present_growth`` / ``history_increment`` knobs only affect the
+    negotiated algorithm; ``max_relax_rounds`` / ``relax_increment`` /
+    ``overflow_penalty`` only the ordered one.
     """
 
     bin_um: Optional[float] = None
@@ -43,6 +65,11 @@ class RoutingConfig:
     overflow_penalty: float = 10.0
     region_margin_bins: int = 1
     max_grid_bins: int = 56
+    algorithm: str = "ordered"
+    max_ripup_iterations: int = 16
+    present_weight: float = 0.5
+    present_growth: float = 1.6
+    history_increment: float = 0.4
     metadata: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -56,6 +83,19 @@ class RoutingConfig:
             raise ValueError("congestion_weight must be >= 0")
         if self.max_grid_bins < 2:
             raise ValueError("max_grid_bins must be >= 2")
+        if self.algorithm not in ROUTING_ALGORITHMS:
+            raise ValueError(
+                f"algorithm must be one of {ROUTING_ALGORITHMS}, "
+                f"got {self.algorithm!r}"
+            )
+        if self.max_ripup_iterations < 0:
+            raise ValueError("max_ripup_iterations must be >= 0")
+        if self.present_weight <= 0:
+            raise ValueError("present_weight must be > 0")
+        if self.present_growth < 1.0:
+            raise ValueError("present_growth must be >= 1")
+        if self.history_increment < 0:
+            raise ValueError("history_increment must be >= 0")
 
 
 @dataclass
@@ -70,12 +110,21 @@ class RoutedWire:
 
 @dataclass
 class RoutingResult:
-    """Complete routing outcome: per-wire paths, lengths and congestion."""
+    """Complete routing outcome: per-wire paths, lengths and congestion.
+
+    ``relax_rounds`` counts capacity relaxations (ordered algorithm);
+    ``ripup_iterations``/``ripups`` count negotiation rounds and
+    individual wire rip-ups (negotiated algorithm).  Each is zero for
+    the other algorithm.
+    """
 
     wires: List[RoutedWire]
     grid: RoutingGrid
     relax_rounds: int
     overflow_wires: int
+    algorithm: str = "ordered"
+    ripup_iterations: int = 0
+    ripups: int = 0
 
     @property
     def total_wirelength_um(self) -> float:
@@ -106,18 +155,28 @@ class RoutingResult:
 def _routing_order(
     netlist: Netlist, placement: Placement
 ) -> List[int]:
-    """Paper routing order: gravity-center distance, wire weight tie-break."""
-    cx = float(np.mean(placement.x))
-    cy = float(np.mean(placement.y))
-    keys = []
-    for index, wire in enumerate(netlist.wires):
-        dist_source = abs(placement.x[wire.source] - cx) + abs(placement.y[wire.source] - cy)
-        dist_target = abs(placement.x[wire.target] - cx) + abs(placement.y[wire.target] - cy)
-        closest = min(dist_source, dist_target)
-        # Ascending distance; ties broken by descending wire weight.
-        keys.append((closest, -wire.weight, index))
-    keys.sort()
-    return [index for _, _, index in keys]
+    """Paper routing order: gravity-center distance, wire weight tie-break.
+
+    Fully vectorized, and computed in float64 regardless of the
+    placement's dtype so the order — which golden fixtures depend on —
+    is identical on every platform.
+    """
+    if not netlist.wires:
+        return []
+    sources, targets, weights = netlist.wire_endpoints()
+    x = np.asarray(placement.x, dtype=np.float64)
+    y = np.asarray(placement.y, dtype=np.float64)
+    cx = x.mean()
+    cy = y.mean()
+    dist_source = np.abs(x[sources] - cx) + np.abs(y[sources] - cy)
+    dist_target = np.abs(x[targets] - cx) + np.abs(y[targets] - cy)
+    closest = np.minimum(dist_source, dist_target)
+    # Ascending distance; ties broken by descending wire weight, then by
+    # wire index (lexsort keys run last-to-first).
+    order = np.lexsort(
+        (np.arange(len(netlist.wires)), -weights.astype(np.float64), closest)
+    )
+    return [int(index) for index in order]
 
 
 def route(
@@ -163,6 +222,57 @@ def route(
 
     recorder = get_recorder()
     order = _routing_order(netlist, placement)
+
+    with recorder.span(
+        "routing.global",
+        wires=len(netlist.wires),
+        bins=[grid.nx, grid.ny],
+        algorithm=config.algorithm,
+    ) as span:
+        if config.algorithm == "negotiated":
+            result = _route_negotiated(
+                netlist, placement, grid, workspace, order, config
+            )
+        else:
+            result = _route_ordered(
+                netlist, placement, grid, workspace, order, config, recorder
+            )
+        # One reporting flush per route() call — the maze inner loop only
+        # touches workspace integers (null-recorder overhead contract).
+        recorder.count("routing.wires_routed", len(result.wires))
+        recorder.count("routing.ripup_retries", result.ripups)
+        recorder.count("routing.ripup_iterations", result.ripup_iterations)
+        recorder.count("routing.relax_rounds", result.relax_rounds)
+        recorder.count("routing.overflow_wires", result.overflow_wires)
+        recorder.count("routing.heap_pushes", workspace.heap_pushes)
+        recorder.count("routing.heap_pops", workspace.heap_pops)
+        recorder.count("routing.visited_bins", workspace.visited_bins)
+        recorder.count("routing.maze_searches", workspace.searches)
+        if recorder.enabled:
+            recorder.observe_many(
+                "routing.path_bins", [len(wire.path) for wire in result.wires]
+            )
+            recorder.gauge("routing.total_wirelength_um", result.total_wirelength_um)
+        span.annotate(
+            ripup_retries=result.ripups,
+            relax_rounds=result.relax_rounds,
+            ripup_iterations=result.ripup_iterations,
+            overflow_wires=result.overflow_wires,
+            heap_pushes=workspace.heap_pushes,
+        )
+    return result
+
+
+def _route_ordered(
+    netlist: Netlist,
+    placement: Placement,
+    grid: RoutingGrid,
+    workspace: MazeWorkspace,
+    order: List[int],
+    config: RoutingConfig,
+    recorder,
+) -> RoutingResult:
+    """The paper's ordered route: relax capacity, then never-fail overflow."""
     routed: Dict[int, RoutedWire] = {}
     failed: List[int] = []
 
@@ -196,74 +306,87 @@ def route(
             overflowed=overflowed,
         )
 
-    with recorder.span(
-        "routing.global", wires=len(netlist.wires), bins=[grid.nx, grid.ny]
-    ) as span:
-        for index in order:
-            outcome = try_route(index, allow_overflow=False)
-            if outcome is None:
-                failed.append(index)
-            else:
-                routed[index] = outcome
-        first_pass_failures = len(failed)
+    for index in order:
+        outcome = try_route(index, allow_overflow=False)
+        if outcome is None:
+            failed.append(index)
+        else:
+            routed[index] = outcome
+    first_pass_failures = len(failed)
 
-        relax_rounds = 0
-        ripup_retries = 0
-        while failed and relax_rounds < config.max_relax_rounds:
-            relax_rounds += 1
-            grid.relax_capacity(config.relax_increment)
-            recorder.event("routing.relax_round", round=relax_rounds, failed=len(failed))
-            still_failed: List[int] = []
-            for index in failed:
-                ripup_retries += 1
-                outcome = try_route(index, allow_overflow=False)
-                if outcome is None:
-                    still_failed.append(index)
-                else:
-                    routed[index] = outcome
-            failed = still_failed
-
-        # Never-fail final pass: overflow allowed, heavily penalized.
-        overflow_wires = 0
+    relax_rounds = 0
+    ripup_retries = 0
+    while failed and relax_rounds < config.max_relax_rounds:
+        relax_rounds += 1
+        grid.relax_capacity(config.relax_increment)
+        recorder.event("routing.relax_round", round=relax_rounds, failed=len(failed))
+        still_failed: List[int] = []
         for index in failed:
             ripup_retries += 1
-            outcome = try_route(index, allow_overflow=True)
-            if outcome is None:  # pragma: no cover - connected grid always routes
-                raise RuntimeError(f"wire {index} could not be routed at all")
-            routed[index] = outcome
-            if outcome.overflowed:
-                overflow_wires += 1
-                recorder.event("routing.overflow", wire=index)
+            outcome = try_route(index, allow_overflow=False)
+            if outcome is None:
+                still_failed.append(index)
+            else:
+                routed[index] = outcome
+        failed = still_failed
 
-        result = RoutingResult(
-            wires=[routed[i] for i in sorted(routed)],
-            grid=grid,
-            relax_rounds=relax_rounds,
-            overflow_wires=overflow_wires,
-        )
-        # One reporting flush per route() call — the maze inner loop only
-        # touches workspace integers (null-recorder overhead contract).
-        recorder.count("routing.wires_routed", len(result.wires))
-        recorder.count("routing.first_pass_failures", first_pass_failures)
-        recorder.count("routing.ripup_retries", ripup_retries)
-        recorder.count("routing.relax_rounds", relax_rounds)
-        recorder.count("routing.overflow_wires", overflow_wires)
-        recorder.count("routing.heap_pushes", workspace.heap_pushes)
-        recorder.count("routing.heap_pops", workspace.heap_pops)
-        recorder.count("routing.visited_bins", workspace.visited_bins)
-        recorder.count("routing.maze_searches", workspace.searches)
-        if recorder.enabled:
-            recorder.observe_many(
-                "routing.path_bins", [len(wire.path) for wire in result.wires]
+    # Never-fail final pass: overflow allowed, heavily penalized.
+    overflow_wires = 0
+    for index in failed:
+        ripup_retries += 1
+        outcome = try_route(index, allow_overflow=True)
+        if outcome is None:  # pragma: no cover - connected grid always routes
+            raise RuntimeError(f"wire {index} could not be routed at all")
+        routed[index] = outcome
+        if outcome.overflowed:
+            overflow_wires += 1
+            recorder.event("routing.overflow", wire=index)
+
+    recorder.count("routing.first_pass_failures", first_pass_failures)
+    return RoutingResult(
+        wires=[routed[i] for i in sorted(routed)],
+        grid=grid,
+        relax_rounds=relax_rounds,
+        overflow_wires=overflow_wires,
+        algorithm="ordered",
+        ripups=ripup_retries,
+    )
+
+
+def _route_negotiated(
+    netlist: Netlist,
+    placement: Placement,
+    grid: RoutingGrid,
+    workspace: MazeWorkspace,
+    order: List[int],
+    config: RoutingConfig,
+) -> RoutingResult:
+    """PathFinder-style negotiated congestion, wrapped as a RoutingResult."""
+    outcome = negotiate_routes(netlist, placement, grid, workspace, order, config)
+    wires: List[RoutedWire] = []
+    overflow_wires = 0
+    for index in sorted(outcome.paths):
+        path = outcome.paths[index]
+        overflowed = len(path) > 1 and _path_overflows(grid, path)
+        if overflowed:
+            overflow_wires += 1
+        wires.append(
+            RoutedWire(
+                wire_index=index,
+                path=path,
+                length_um=outcome.lengths[index],
+                overflowed=overflowed,
             )
-            recorder.gauge("routing.total_wirelength_um", result.total_wirelength_um)
-        span.annotate(
-            ripup_retries=ripup_retries,
-            relax_rounds=relax_rounds,
-            overflow_wires=overflow_wires,
-            heap_pushes=workspace.heap_pushes,
         )
-    return result
+    return RoutingResult(
+        wires=wires,
+        grid=grid,
+        relax_rounds=0,
+        overflow_wires=overflow_wires,
+        algorithm="negotiated",
+        ripup_iterations=outcome.iterations,
+        ripups=outcome.ripups,
+    )
 
 
 def _path_overflows(grid: RoutingGrid, path: List[BinCoord]) -> bool:

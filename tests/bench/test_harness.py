@@ -1,0 +1,167 @@
+"""Tests for the perf harness (:mod:`repro.bench`).
+
+The suites run at a deliberately tiny dimension here — the point is the
+harness machinery (schema round-trip, regression gate, CLI), not the
+benchmark numbers themselves.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    BASELINE_FILES,
+    DEFAULT_THRESHOLD_PCT,
+    SCHEMA_VERSION,
+    compare_to_baseline,
+    load_suite_json,
+    main,
+    run_suite,
+    suite_result_from_dict,
+    write_suite_json,
+)
+
+DIM = 16  # smallest practical scaled testbench
+
+
+@pytest.fixture(scope="module")
+def routing_suite():
+    return run_suite("routing", fast=True, dimension=DIM, testbenches=(1,))
+
+
+class TestSuiteRun:
+    def test_covers_both_algorithms(self, routing_suite):
+        names = [record.name for record in routing_suite.benchmarks]
+        assert names == ["tb1.ordered", "tb1.negotiated"]
+
+    def test_records_carry_qor_and_counters(self, routing_suite):
+        for record in routing_suite.benchmarks:
+            assert record.wall_seconds >= 0.0
+            assert "wirelength_um" in record.qor
+            assert "overflow_wires" in record.qor
+            assert record.counters.get("routing.heap_pushes", 0) > 0
+            assert "routing.ripup_retries" in record.counters
+
+    def test_flow_suite_runs(self):
+        result = run_suite("flow", fast=True, dimension=DIM)
+        assert [r.name for r in result.benchmarks] == [
+            "flow.tb1.ordered",
+            "flow.tb1.negotiated",
+        ]
+        for record in result.benchmarks:
+            assert record.qor["area_um2"] > 0
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(ValueError, match="unknown bench suite"):
+            run_suite("placement")
+
+
+class TestSchema:
+    def test_round_trip(self, routing_suite, tmp_path):
+        path = tmp_path / BASELINE_FILES["routing"]
+        write_suite_json(routing_suite, path)
+        loaded = load_suite_json(path)
+        assert loaded.to_dict() == routing_suite.to_dict()
+        assert json.loads(path.read_text())["schema_version"] == SCHEMA_VERSION
+
+    def test_version_mismatch_rejected(self, routing_suite):
+        payload = routing_suite.to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            suite_result_from_dict(payload)
+
+    def test_missing_field_rejected(self, routing_suite):
+        payload = routing_suite.to_dict()
+        del payload["dimension"]
+        with pytest.raises(ValueError, match="dimension"):
+            suite_result_from_dict(payload)
+
+
+class TestRegressionGate:
+    def test_self_comparison_passes(self, routing_suite):
+        assert compare_to_baseline(routing_suite, routing_suite) == []
+
+    def test_qor_regression_detected(self, routing_suite):
+        baseline = copy.deepcopy(routing_suite)
+        # Pretend the baseline was much better than the candidate.
+        scale = 1.0 + 2 * DEFAULT_THRESHOLD_PCT / 100.0
+        for record in baseline.benchmarks:
+            record.qor["wirelength_um"] /= scale
+        failures = compare_to_baseline(routing_suite, baseline)
+        assert failures
+        assert all("wirelength_um" in f for f in failures)
+
+    def test_counter_regression_detected(self, routing_suite):
+        baseline = copy.deepcopy(routing_suite)
+        for record in baseline.benchmarks:
+            record.counters["routing.heap_pushes"] /= 10.0
+        assert compare_to_baseline(routing_suite, baseline)
+
+    def test_within_threshold_passes(self, routing_suite):
+        baseline = copy.deepcopy(routing_suite)
+        for record in baseline.benchmarks:
+            record.qor["wirelength_um"] /= 1.0 + DEFAULT_THRESHOLD_PCT / 300.0
+        assert compare_to_baseline(routing_suite, baseline) == []
+
+    def test_mode_mismatch_detected(self, routing_suite):
+        baseline = copy.deepcopy(routing_suite)
+        baseline.mode = "full"
+        failures = compare_to_baseline(routing_suite, baseline)
+        assert failures and "parameters" in failures[0]
+
+    def test_missing_benchmark_detected(self, routing_suite):
+        candidate = copy.deepcopy(routing_suite)
+        candidate.benchmarks = candidate.benchmarks[:1]
+        failures = compare_to_baseline(candidate, routing_suite)
+        assert any("disappeared" in f for f in failures)
+
+    def test_wall_time_not_gated_by_default(self, routing_suite):
+        baseline = copy.deepcopy(routing_suite)
+        for record in baseline.benchmarks:
+            record.wall_seconds /= 1000.0
+        assert compare_to_baseline(routing_suite, baseline) == []
+        assert compare_to_baseline(
+            routing_suite, baseline, time_threshold_pct=50.0
+        )
+
+
+class TestCli:
+    ARGS = ["--suites", "routing", "--fast",
+            "--dimension", str(DIM), "--testbenches", "1"]
+
+    def test_write_then_check_round_trips(self, tmp_path, capsys):
+        base = ["--baseline-dir", str(tmp_path)] + self.ARGS
+        assert main(base) == 0
+        assert (tmp_path / BASELINE_FILES["routing"]).exists()
+        assert main(base + ["--check"]) == 0
+        out = capsys.readouterr().out
+        assert "OK routing" in out
+
+    def test_check_without_baseline_fails(self, tmp_path, capsys):
+        assert main(["--baseline-dir", str(tmp_path), "--check"] + self.ARGS) == 1
+        assert "no baseline" in capsys.readouterr().out
+
+    def test_check_detects_doctored_baseline(self, tmp_path, capsys):
+        base = ["--baseline-dir", str(tmp_path)] + self.ARGS
+        assert main(base) == 0
+        path = tmp_path / BASELINE_FILES["routing"]
+        payload = json.loads(path.read_text())
+        for record in payload["benchmarks"]:
+            record["qor"]["wirelength_um"] /= 10.0
+        path.write_text(json.dumps(payload))
+        assert main(base + ["--check"]) == 1
+        assert "regressed" in capsys.readouterr().out
+
+    def test_check_and_update_are_exclusive(self, tmp_path, capsys):
+        status = main(
+            ["--baseline-dir", str(tmp_path), "--check", "--update-baseline"]
+            + self.ARGS
+        )
+        assert status == 2
+
+    def test_update_baseline_writes(self, tmp_path):
+        assert main(
+            ["--baseline-dir", str(tmp_path), "--update-baseline"] + self.ARGS
+        ) == 0
+        assert load_suite_json(tmp_path / BASELINE_FILES["routing"]).mode == "fast"

@@ -8,7 +8,7 @@ from repro.mapping.netlist import build_netlist
 from repro.physical.layout import Placement
 from repro.physical.routing.grid import RoutingGrid
 from repro.physical.routing.maze import maze_route
-from repro.physical.routing.router import RoutingConfig, route
+from repro.physical.routing.router import RoutingConfig, _routing_order, route
 
 
 def make_grid(nx_um=40.0, ny_um=40.0, bin_um=4.0, capacity=2):
@@ -164,6 +164,93 @@ class TestRouteDriver:
             RoutingConfig(window_margin_bins=-1)
         with pytest.raises(ValueError):
             RoutingConfig(relax_increment=0)
+
+    def test_coarsening_scales_grid_and_capacity(self, placed_design):
+        # A die wider than max_grid_bins bins triggers the coarsening
+        # branch: θ grows, capacity rescales with the merge factor.
+        netlist, placement = placed_design
+        config = RoutingConfig(bin_um=2.0, max_grid_bins=8, capacity_per_bin=2)
+        result = route(netlist, placement, config=config)
+        grid = result.grid
+        assert grid.bin_um > config.bin_um
+        # The routed region is the bounding box + 1 margin bin per side.
+        assert grid.nx <= config.max_grid_bins + 2
+        assert grid.ny <= config.max_grid_bins + 2
+        # span ≈ 60 µm over 8 bins of 2 µm → scale ≈ 3.75, capacity 2 → 8ish
+        assert grid.base_capacity > config.capacity_per_bin
+        assert len(result.wires) == netlist.num_wires
+
+    def test_coarsening_capacity_rounds_to_at_least_one(self, placed_design):
+        # int(round(capacity * scale)) at scale ≈ 1: capacity 1 must
+        # survive the rescale as 1, never drop to 0.
+        netlist, placement = placed_design
+        span = max(
+            placement.x.max() - placement.x.min(),
+            placement.y.max() - placement.y.min(),
+        )
+        bins = 16
+        # bin_um chosen so span/bin_um is barely above max_grid_bins.
+        bin_um = span / (bins + 0.05)
+        config = RoutingConfig(bin_um=bin_um, max_grid_bins=bins, capacity_per_bin=1)
+        result = route(netlist, placement, config=config)
+        assert result.grid.base_capacity == 1
+        assert len(result.wires) == netlist.num_wires
+
+    def test_never_fail_overflow_pass(self):
+        # Zero relax rounds + capacity 1 on a single shared corridor: the
+        # final allow-overflow pass must still route everything and report
+        # the overflowed wires.
+        library = CrossbarLibrary()
+        pairs = [(i, i + 6) for i in range(6)]
+        netlist = build_netlist(12, [], pairs, library)
+        x = np.concatenate([np.full(6, 2.0), np.full(6, 58.0), np.full(6, 30.0)])
+        y = np.full(netlist.num_cells, 2.0)
+        placement = Placement(
+            x=x, y=y, widths=netlist.widths(), heights=netlist.heights()
+        )
+        config = RoutingConfig(
+            capacity_per_bin=1, bin_um=10.0, max_relax_rounds=0
+        )
+        result = route(netlist, placement, config=config)
+        assert len(result.wires) == netlist.num_wires
+        assert result.relax_rounds == 0
+        assert result.overflow_wires > 0
+        assert sum(1 for w in result.wires if w.overflowed) == result.overflow_wires
+
+    def test_routing_order_dtype_invariant(self, placed_design):
+        # The order golden fixtures depend on must not change with the
+        # placement's floating dtype (float32 platforms vs float64).
+        netlist, placement = placed_design
+        p32 = Placement(
+            x=placement.x.astype(np.float32),
+            y=placement.y.astype(np.float32),
+            widths=placement.widths,
+            heights=placement.heights,
+        )
+        assert _routing_order(netlist, placement) == _routing_order(netlist, p32)
+
+    def test_routing_order_empty_netlist(self):
+        library = CrossbarLibrary()
+        netlist = build_netlist(3, [], [], library)
+        placement = Placement(
+            x=np.zeros(3), y=np.zeros(3),
+            widths=netlist.widths(), heights=netlist.heights(),
+        )
+        assert _routing_order(netlist, placement) == []
+
+    def test_routing_order_weight_tiebreak(self):
+        # Two wires whose closest pins are equidistant from the gravity
+        # center: the heavier wire routes first.
+        library = CrossbarLibrary()
+        netlist = build_netlist(4, [], [(0, 1), (2, 3)], library)
+        n = netlist.num_cells
+        x = np.linspace(0.0, 30.0, n)
+        placement = Placement(
+            x=x, y=np.zeros(n),
+            widths=netlist.widths(), heights=netlist.heights(),
+        )
+        order = _routing_order(netlist, placement)
+        assert sorted(order) == list(range(netlist.num_wires))
 
     def test_routed_length_at_least_manhattan_bins(self, placed_design):
         netlist, placement = placed_design
