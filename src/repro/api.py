@@ -93,6 +93,7 @@ def compare(
     seed: RngLike = None,
     n_jobs: int = 1,
     label: Optional[str] = None,
+    resilience=None,
 ) -> ComparisonReport:
     """Run AutoNCS and the FullCro baseline; report the Table 1 comparison.
 
@@ -112,6 +113,11 @@ def compare(
         value.
     label:
         Report label (defaults to the network name).
+    resilience:
+        Optional :class:`~repro.runtime.resilience.ResilienceConfig`
+        adding per-flow retries and wall-clock timeouts; the flows then
+        run through the runtime engine even at ``n_jobs=1``.  The
+        retried flow replays its own seed, so the report is unchanged.
 
     Returns
     -------
@@ -119,7 +125,7 @@ def compare(
         Wirelength/area/delay of both designs plus reduction
         percentages, with ``.to_dict()`` / ``.format_table()``.
     """
-    if n_jobs <= 1:
+    if n_jobs <= 1 and resilience is None:
         return AutoNCS(config).compare(network, label=label, rng=seed)
     from repro.runtime import Job, Runner
     from repro.utils.rng import ensure_rng, spawn_seeds
@@ -133,7 +139,16 @@ def compare(
         Job(kind="fullcro", label=f"{network.name} fullcro",
             payload=payload, seed=fullcro_seed),
     ]
-    results = Runner(n_jobs=n_jobs).run(jobs)
+    results = Runner(n_jobs=n_jobs, resilience=resilience).run(jobs)
+    failed = [r for r in results if r.failure is not None]
+    if failed:
+        # The comparison needs both designs; a collected (non-fail-fast)
+        # failure still has to surface here.
+        first = failed[0].failure
+        raise RuntimeError(
+            f"compare flow {first.label!r} failed ({first.failure} after "
+            f"{first.attempts} attempt(s)): {first.message}"
+        )
     result = results[0].value
     return ComparisonReport(
         label=label if label is not None else network.name,

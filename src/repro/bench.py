@@ -18,7 +18,10 @@ Suites
 ``flow``
     End-to-end ``AutoNCS.run`` on testbench 1 with both routing
     algorithms — wall time, per-stage seconds and the eq. (3) cost
-    metrics.
+    metrics — plus the chaos overhead records: ``chaos.null`` (resilient
+    runner, no faults; the gate pins retries/faults/failures at zero)
+    and ``chaos.transient`` (injected flakes; the gate pins full
+    recovery).
 
 Regression policy
 -----------------
@@ -236,11 +239,67 @@ def _bench_flow_case(rng, *, network, config):
     }
 
 
+def _bench_chaos_unit(rng, *, n):
+    """Cheap deterministic unit job for the chaos benchmarks (O(n) numpy)."""
+    values = rng.standard_normal(int(n))
+    return float(np.abs(values).sum())
+
+
+def _bench_chaos_case(rng, *, plan_spec, seed, cells):
+    """Run ``cells`` cheap jobs through a resilient inner runner.
+
+    ``plan_spec`` is a :meth:`~repro.runtime.chaos.FaultPlan.parse` spec
+    (empty = chaos off).  QoR is the retry/fault/failure accounting — all
+    deterministic for a fixed seed, so the regression gate pins them: the
+    ``chaos.null`` record must keep zero retries, faults and failures
+    (the null-plan zero-overhead contract), and ``chaos.transient`` must
+    keep recovering every injected flake.
+    """
+    from repro.observability import Recorder, recording
+    from repro.runtime import FaultPlan, Job, ResilienceConfig, RetryPolicy, Runner
+    from repro.utils.timers import Timer
+
+    plan = FaultPlan.parse(plan_spec, seed=seed) if plan_spec else None
+    resilience = ResilienceConfig(
+        retry=RetryPolicy(max_attempts=3, backoff_base=0.001, backoff_max=0.002),
+        timeout_seconds=60.0,
+    )
+    jobs = [
+        Job(kind="bench_chaos_unit", label=f"unit-{index}",
+            payload={"n": 4096}, seed=seed * 1000 + index)
+        for index in range(cells)
+    ]
+    recorder = Recorder()
+    with recording(recorder):
+        with Timer() as timer:
+            results = Runner(resilience=resilience, chaos=plan).run(jobs)
+    snapshot = recorder.snapshot()
+    counters = {
+        name: float(value)
+        for name, value in snapshot.counters.items()
+        if name.startswith(("runner.", "chaos."))
+    }
+    return {
+        "wall_seconds": timer.elapsed,
+        "qor": {
+            "failures": counters.get("runner.failures", 0.0),
+            "retries": counters.get("runner.retries", 0.0),
+            "faults_injected": counters.get("chaos.faults_injected", 0.0),
+            "checksum": float(
+                sum(r.value for r in results if r.value is not None)
+            ),
+        },
+        "counters": counters,
+    }
+
+
 def _register_executors() -> None:
     from repro.runtime import register_executor
 
     register_executor("bench_routing", _bench_routing_case)
     register_executor("bench_flow", _bench_flow_case)
+    register_executor("bench_chaos", _bench_chaos_case)
+    register_executor("bench_chaos_unit", _bench_chaos_unit)
 
 
 # ----------------------------------------------------------------------
@@ -273,6 +332,7 @@ def run_suite(
     jobs: int = 1,
     dimension: Optional[int] = None,
     testbenches: Sequence[int] = (1, 2, 3),
+    resilience=None,
 ) -> SuiteResult:
     """Run one benchmark suite and return its :class:`SuiteResult`.
 
@@ -339,8 +399,26 @@ def run_suite(
             names.append(
                 (f"flow.tb{index}.{algorithm}", ["flow", algorithm, f"tb{index}"])
             )
-    outcomes = Runner(n_jobs=jobs).run(jobs_list)
+        # The resilience overhead benchmarks: the same cheap job grid
+        # with chaos off (pins the null-plan overhead at zero retries/
+        # faults) and with transient flakes (pins full recovery).
+        for name, plan_spec in (("chaos.null", ""), ("chaos.transient", "transient")):
+            jobs_list.append(
+                Job(
+                    kind="bench_chaos",
+                    label=f"bench {name}",
+                    payload={"plan_spec": plan_spec, "seed": seed, "cells": 16},
+                    seed=seed,
+                )
+            )
+            names.append((name, ["chaos", name.split(".", 1)[1]]))
+    outcomes = Runner(n_jobs=jobs, resilience=resilience).run(jobs_list)
     for (name, tags), outcome in zip(names, outcomes):
+        if outcome.failure is not None:
+            raise RuntimeError(
+                f"benchmark {name!r} failed ({outcome.failure.failure}): "
+                f"{outcome.failure.message}"
+            )
         measurement = outcome.value
         result.benchmarks.append(
             BenchRecord(
@@ -436,6 +514,10 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--testbenches", type=int, nargs="+", default=[1, 2, 3],
                         choices=(1, 2, 3),
                         help="paper testbenches to cover (default 1 2 3)")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="max attempts per benchmark job (default 1)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-benchmark wall-clock budget (default: none)")
     parser.add_argument("--check", action="store_true",
                         help="compare against the committed BENCH_*.json "
                              "baselines and exit 1 on regression (read-only)")
@@ -464,6 +546,15 @@ def run_bench_command(args: argparse.Namespace) -> int:
         return 2
     baseline_dir = Path(args.baseline_dir)
     output_dir = Path(args.output_dir) if args.output_dir else None
+    resilience = None
+    if max(1, args.retries) > 1 or args.timeout is not None:
+        from repro.runtime import ResilienceConfig, RetryPolicy
+
+        resilience = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=max(1, args.retries)),
+            timeout_seconds=args.timeout,
+            fail_fast=True,
+        )
     exit_status = 0
     for suite in args.suites:
         result = run_suite(
@@ -473,6 +564,7 @@ def run_bench_command(args: argparse.Namespace) -> int:
             jobs=args.jobs,
             dimension=args.dimension or None,
             testbenches=tuple(args.testbenches),
+            resilience=resilience,
         )
         print(result.format_table())
         baseline_path = baseline_dir / BASELINE_FILES[suite]

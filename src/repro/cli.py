@@ -113,6 +113,33 @@ def _add_observability_arguments(parser: argparse.ArgumentParser) -> None:
                         help="write the plain-text metrics dump to FILE")
 
 
+def _add_resilience_arguments(parser: argparse.ArgumentParser,
+                              retries_default: int = 1) -> None:
+    parser.add_argument("--retries", type=int, default=retries_default,
+                        metavar="N",
+                        help="max attempts per job (retries with exponential "
+                             f"backoff; default {retries_default})")
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="per-job wall-clock budget; hung pool workers are "
+                             "killed and the job retried (default: none)")
+
+
+def _resilience_from_args(args: argparse.Namespace, fail_fast: bool = True):
+    """A :class:`ResilienceConfig` when ``--retries``/``--timeout`` ask for
+    one; ``None`` (the legacy fail-fast contract) otherwise."""
+    retries = max(1, getattr(args, "retries", 1))
+    timeout = getattr(args, "timeout", None)
+    if retries <= 1 and timeout is None and fail_fast:
+        return None
+    from repro.runtime import ResilienceConfig, RetryPolicy
+
+    return ResilienceConfig(
+        retry=RetryPolicy(max_attempts=retries),
+        timeout_seconds=timeout,
+        fail_fast=fail_fast,
+    )
+
+
 def _apply_router(config: AutoNcsConfig, router: Optional[str]) -> AutoNcsConfig:
     """Override the routing algorithm when ``--router`` asked for one."""
     if not router:
@@ -162,7 +189,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     config = _apply_router(fast_config() if args.fast else AutoNcsConfig(), args.router)
     print(f"network: {network}")
     with _observability(args.trace, args.metrics):
-        report = api_compare(network, config=config, seed=args.seed, n_jobs=args.jobs)
+        report = api_compare(network, config=config, seed=args.seed,
+                             n_jobs=args.jobs,
+                             resilience=_resilience_from_args(args))
     print(report.format_table())
     if args.verbose:
         from repro.core.summary import summarize_design
@@ -218,17 +247,22 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
         spare_instances=args.spares,
         rng=args.seed,
         n_jobs=args.jobs,
+        resilience=_resilience_from_args(args),
     )
     print(result.format())
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from repro.runtime import (
         ArtifactCache,
         EventLog,
+        FaultPlan,
         ProgressPrinter,
         Runner,
+        SweepJournal,
         SweepSpec,
     )
 
@@ -239,6 +273,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.clear_cache:
             removed = cache.clear()
             print(f"cleared {removed} cached artifact(s) from {cache.root}")
+    if args.resume and cache is None:
+        print("error: --resume needs the artifact cache to serve the cells "
+              "already done (remove --no-cache)", file=sys.stderr)
+        return 2
     spec = SweepSpec(
         sizes=tuple(args.sizes),
         densities=tuple(args.densities),
@@ -246,14 +284,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         kind=args.kind,
         config=config,
     )
+    chaos = FaultPlan.parse(args.chaos, seed=args.seed) if args.chaos else None
+    # Sweeps always run resilient: failed cells are collected as partial
+    # results (exit status 1) instead of aborting the whole grid.
+    resilience = _resilience_from_args(args, fail_fast=False)
+    journal_path = (
+        Path(args.journal) if args.journal
+        else (cache.root / f"journal-{spec.sweep_key()[:12]}.jsonl")
+        if cache is not None
+        else None
+    )
+    if args.resume and journal_path is not None and not journal_path.exists():
+        print(f"note: nothing to resume (no journal at {journal_path}); "
+              "running the full grid")
     with _observability(None, args.metrics):
         with EventLog(trace_path=args.trace, printer=ProgressPrinter()) as events:
-            runner = Runner(n_jobs=args.jobs, cache=cache, events=events)
-            result = runner.run_sweep(spec)
+            journal = SweepJournal(journal_path) if journal_path else None
+            try:
+                runner = Runner(
+                    n_jobs=args.jobs, cache=cache, events=events,
+                    resilience=resilience, chaos=chaos, journal=journal,
+                )
+                result = runner.run_sweep(spec, resume=args.resume)
+            finally:
+                if journal is not None:
+                    journal.close()
     print()
     print(result.format_table())
+    if journal_path is not None:
+        print(f"journal: {journal_path} (resume with --resume)")
     if args.trace:
         print(f"trace written to {args.trace}")
+    if result.failures:
+        for failure in result.failures:
+            print(f"FAILED {failure.label}: {failure.failure} "
+                  f"after {failure.attempts} attempt(s) — {failure.message}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -328,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--router", choices=("ordered", "negotiated"), default=None,
                          help="routing algorithm override (default: config's, "
                               "i.e. ordered)")
+    _add_resilience_arguments(compare)
     _add_observability_arguments(compare)
     compare.set_defaults(func=_cmd_compare)
 
@@ -362,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     reliability.add_argument("--jobs", type=int, default=1,
                              help="worker processes for the Monte-Carlo trials "
                                   "(default 1; results are identical for any value)")
+    _add_resilience_arguments(reliability)
     reliability.set_defaults(func=_cmd_reliability)
 
     sweep = sub.add_parser(
@@ -393,6 +462,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a JSONL event trace to this file")
     sweep.add_argument("--metrics", metavar="FILE",
                        help="write the plain-text metrics dump to FILE")
+    _add_resilience_arguments(sweep, retries_default=2)
+    sweep.add_argument("--chaos", metavar="SPEC", default=None,
+                       help="inject deterministic faults: a preset (transient, "
+                            "crash, hang, error, corrupt, mixed) or "
+                            "'kind@site:p=0.5;...' rules — see "
+                            "repro.runtime.chaos")
+    sweep.add_argument("--journal", metavar="FILE", default=None,
+                       help="crash-safe sweep journal path (default: "
+                            "<cache-dir>/journal-<sweep-key>.jsonl)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="resume a killed sweep: replay the journal, skip "
+                            "quarantined cells, serve finished cells from the "
+                            "cache (bitwise-identical results)")
     sweep.set_defaults(func=_cmd_sweep)
 
     verify = sub.add_parser(

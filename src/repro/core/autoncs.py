@@ -42,6 +42,7 @@ from repro.physical.layout import PhysicalDesign, Placement
 from repro.physical.placement.annealing import AnnealingConfig, anneal_place
 from repro.physical.placement.placer import place
 from repro.physical.routing.router import RoutingConfig, route
+from repro.runtime.chaos import chaos_point
 from repro.utils.rng import RngLike, ensure_rng, spawn_rng
 from repro.utils.timers import Timer
 
@@ -112,6 +113,7 @@ def _place_with_fallback(
     reason: Optional[str] = None
     with Timer() as timer:
         try:
+            chaos_point("stage.placement")
             placement = place(
                 mapping.netlist,
                 technology=config.technology,
@@ -188,6 +190,7 @@ def _route_with_retry(
     base = config.routing if config.routing is not None else RoutingConfig()
     with Timer() as timer:
         try:
+            chaos_point("stage.routing")
             routing = route(
                 mapping.netlist, placement, technology=config.technology, config=base
             )
@@ -414,6 +417,7 @@ class AutoNCS:
             with recorder.span("flow.cluster"):
                 with Timer() as timer:
                     try:
+                        chaos_point("stage.isc")
                         isc = self.cluster(network, rng=rng)
                     except Exception as exc:
                         raise StageError("isc", f"{type(exc).__name__}: {exc}") from exc
@@ -421,6 +425,7 @@ class AutoNCS:
             with recorder.span("flow.map"):
                 with Timer() as timer:
                     try:
+                        chaos_point("stage.mapping")
                         mapping = autoncs_mapping(isc, library=self.library)
                     except Exception as exc:
                         raise StageError(

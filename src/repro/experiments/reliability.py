@@ -57,6 +57,7 @@ def run_reliability_experiment(
     rng: RngLike = None,
     n_jobs: int = 1,
     events=None,
+    resilience=None,
 ) -> ReliabilityResult:
     """Map a (scaled) testbench and Monte-Carlo its yield across defect rates.
 
@@ -81,6 +82,10 @@ def run_reliability_experiment(
         Worker processes for the Monte-Carlo trials.
     events:
         Optional :class:`repro.runtime.EventLog` for per-trial events.
+    resilience:
+        Optional :class:`~repro.runtime.resilience.ResilienceConfig`
+        adding per-trial retries/timeouts (forwarded to
+        :func:`~repro.reliability.evaluate_yield`).
     """
     build_rng, yield_rng = spawn_rng(rng, 2)
     bench = scaled_testbench(testbench, dimension)
@@ -101,6 +106,7 @@ def run_reliability_experiment(
         rng=yield_rng,
         n_jobs=n_jobs,
         events=events,
+        resilience=resilience,
     )
     return ReliabilityResult(
         label=bench.label,

@@ -286,6 +286,7 @@ def evaluate_yield(
     rng: RngLike = None,
     n_jobs: int = 1,
     events=None,
+    resilience=None,
     assert_legal: bool = False,
 ) -> YieldCurve:
     """Monte-Carlo yield of ``mapping`` under defects, before/after repair.
@@ -311,6 +312,11 @@ def evaluate_yield(
     events:
         Optional :class:`repro.runtime.EventLog` receiving per-trial
         job events.
+    resilience:
+        Optional :class:`~repro.runtime.resilience.ResilienceConfig`
+        adding per-trial retries/timeouts; trials then run through the
+        runtime engine even at ``n_jobs=1``.  Retried trials replay
+        their pre-derived RNG streams, so the curve is unchanged.
     assert_legal:
         Run the independent post-repair legality checks (coverage +
         hardware, see :mod:`repro.verify`) on every repaired chip and
@@ -343,7 +349,7 @@ def evaluate_yield(
         samples=samples,
         n_jobs=n_jobs,
     ):
-        if n_jobs == 1:
+        if n_jobs == 1 and resilience is None:
             # The defect-independent programming of the mapped design is
             # compiled once and shared by every chip (the hoist that makes
             # the Monte-Carlo loop ~O(trials) in recall work, not assembly).
@@ -370,8 +376,18 @@ def evaluate_yield(
                 )
                 for spec in specs
             ]
-            runner = Runner(n_jobs=n_jobs, events=events)
-            outcomes = [result.value for result in runner.run(jobs)]
+            runner = Runner(n_jobs=n_jobs, events=events, resilience=resilience)
+            results = runner.run(jobs)
+            failed = [r for r in results if r.failure is not None]
+            if failed:
+                # The yield statistics need every trial; a collected
+                # (non-fail-fast) failure still has to surface here.
+                first = failed[0].failure
+                raise RuntimeError(
+                    f"yield trial {first.label!r} failed ({first.failure} "
+                    f"after {first.attempts} attempt(s)): {first.message}"
+                )
+            outcomes = [result.value for result in results]
         recorder.count("reliability.yield_trials", len(specs))
         if recorder.enabled:
             recorder.observe_many(

@@ -11,7 +11,15 @@ The runtime turns independent (network, config, seed) flow runs into
   sweep only executes changed cells;
 * an :class:`EventLog` records a structured JSONL trace (job started /
   finished / cache hits, per-stage wall times) and can drive a terminal
-  :class:`ProgressPrinter`.
+  :class:`ProgressPrinter`;
+* a :class:`ResilienceConfig` adds per-job timeouts, deterministic
+  retry/backoff, pool respawn with poison-job quarantine and partial
+  :class:`SweepResult`\\ s with structured :class:`JobFailure` records,
+  while a :class:`SweepJournal` makes sweeps crash-safe and resumable;
+* a :class:`FaultPlan` (:mod:`repro.runtime.chaos`) injects
+  deterministic faults — worker death, stage errors, hangs, transient
+  flakes, cache corruption — to exercise all of the above, at zero cost
+  when disabled.
 
 Quickstart
 ----------
@@ -25,8 +33,22 @@ Quickstart
 """
 
 from repro.runtime.cache import DEFAULT_CACHE_DIR, ArtifactCache, job_cache_key
+from repro.runtime.chaos import (
+    ChaosError,
+    FaultPlan,
+    FaultRule,
+    chaos_point,
+    chaos_scope,
+)
 from repro.runtime.events import EventLog, ProgressPrinter
 from repro.runtime.jobs import Job, JobResult, SweepSpec
+from repro.runtime.resilience import (
+    JobFailure,
+    ResilienceConfig,
+    RetryPolicy,
+    SweepJournal,
+    UnknownJobKindError,
+)
 from repro.runtime.runner import (
     Runner,
     SweepResult,
@@ -37,14 +59,24 @@ from repro.runtime.runner import (
 
 __all__ = [
     "ArtifactCache",
+    "ChaosError",
     "DEFAULT_CACHE_DIR",
     "EventLog",
+    "FaultPlan",
+    "FaultRule",
     "Job",
+    "JobFailure",
     "JobResult",
     "ProgressPrinter",
+    "ResilienceConfig",
+    "RetryPolicy",
     "Runner",
+    "SweepJournal",
     "SweepResult",
     "SweepSpec",
+    "UnknownJobKindError",
+    "chaos_point",
+    "chaos_scope",
     "default_n_jobs",
     "job_cache_key",
     "register_executor",

@@ -11,25 +11,40 @@ nothing else.  Values are pickled under::
 
 Writes are atomic (temp file + ``os.replace``), so a crashed or killed
 run never leaves a truncated pickle behind; a corrupt entry is treated
-as a miss and deleted.  To invalidate everything, delete the cache root
-(or call :meth:`ArtifactCache.clear`).
+as a miss and deleted.  When two runners share one cache root, a
+per-key advisory file lock (``fcntl.flock``) makes the object + sidecar
+pair a single atomic commit: each file's rename is atomic on its own,
+but without the lock two writers could interleave, leaving one writer's
+pickle next to the other's metadata.  To invalidate everything, delete
+the cache root (or call :meth:`ArtifactCache.clear`).
+
+The ``cache.store`` chaos site (:mod:`repro.runtime.chaos`) can corrupt
+a freshly written artifact deterministically, exercising the
+corrupt-entry recovery path end to end.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pickle
 import tempfile
 import time
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 import numpy as np
 
 from repro.observability import get_recorder
+from repro.runtime.chaos import chaos_point
 from repro.runtime.jobs import Job
 from repro.utils.canonical import canonical, stable_hash
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 #: Default cache directory, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -122,11 +137,20 @@ class ArtifactCache:
         return True, value
 
     def store(self, key: str, value: Any, meta: Optional[Dict[str, Any]] = None) -> Path:
-        """Atomically persist ``value`` (and a JSON metadata sidecar)."""
+        """Atomically persist ``value`` (and a JSON metadata sidecar).
+
+        The object and its sidecar commit as one unit under a per-key
+        advisory file lock, so concurrent runners sharing the cache root
+        never interleave one writer's pickle with another's metadata.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        self._atomic_write(path, payload)
+        rule = chaos_point("cache.store", label=key, attempt=0)
+        if rule is not None and rule.kind == "corrupt":
+            # Injected data fault: commit a truncated artifact, so the
+            # next lookup exercises corrupt-entry recovery.
+            payload = payload[: max(1, len(payload) // 2)]
         sidecar = {
             "key": key,
             "version": self.version,
@@ -134,10 +158,12 @@ class ArtifactCache:
             "bytes": len(payload),
             **(meta or {}),
         }
-        self._atomic_write(
-            path.with_suffix(".json"),
-            (json.dumps(canonical(sidecar), sort_keys=True, indent=1) + "\n").encode("utf-8"),
-        )
+        sidecar_bytes = (
+            json.dumps(canonical(sidecar), sort_keys=True, indent=1) + "\n"
+        ).encode("utf-8")
+        with self._key_lock(key):
+            self._atomic_write(path, payload)
+            self._atomic_write(path.with_suffix(".json"), sidecar_bytes)
         get_recorder().count("cache.stores")
         return path
 
@@ -153,6 +179,7 @@ class ArtifactCache:
         for path in sorted(self.objects_dir.rglob("*.pkl")):
             path.unlink(missing_ok=True)
             path.with_suffix(".json").unlink(missing_ok=True)
+            path.with_suffix(".lock").unlink(missing_ok=True)
             removed += 1
         return removed
 
@@ -177,9 +204,31 @@ class ArtifactCache:
         recorder.gauge("cache.hit_rate", self.hits / total if total else 0.0)
 
     def _remove(self, key: str) -> None:
+        with self._key_lock(key):
+            path = self.path_for(key)
+            path.unlink(missing_ok=True)
+            path.with_suffix(".json").unlink(missing_ok=True)
+
+    @contextlib.contextmanager
+    def _key_lock(self, key: str) -> Iterator[None]:
+        """Advisory inter-process lock scoping one key's object+sidecar pair.
+
+        Uses ``fcntl.flock`` on a ``.lock`` sibling; degrades to a no-op
+        where ``fcntl`` is unavailable (single-writer platforms keep the
+        old atomic-rename guarantees).
+        """
+        if fcntl is None:
+            yield
+            return
         path = self.path_for(key)
-        path.unlink(missing_ok=True)
-        path.with_suffix(".json").unlink(missing_ok=True)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        lock_path = path.with_suffix(".lock")
+        with open(lock_path, "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
 
     @staticmethod
     def _atomic_write(path: Path, payload: bytes) -> None:

@@ -93,6 +93,11 @@ class ProgressPrinter:
         [3/9] done   n=100 d=0.08   12.41s
         [4/9] cached n=100 d=0.05    0.00s
 
+    plus retry/timeout/failure annotations from the resilient runner::
+
+        retry  n=100 d=0.08 (attempt 2, error, backoff 0.11s)
+        [5/9] FAILED n=100 d=0.08 (timeout after 3 attempt(s))
+
     and a closing summary on ``sweep_finished``.
     """
 
@@ -116,10 +121,50 @@ class ProgressPrinter:
             total = self._total if self._total else "?"
             print(f"[{self._done}/{total}] {status} {label:<24} {seconds:8.2f}s",
                   file=self.stream)
-        elif event == "sweep_finished":
+        elif event == "job_retry":
             print(
-                f"finished: {record.get('executed', 0)} executed, "
-                f"{record.get('cache_hits', 0)} cache hit(s), "
-                f"{float(record.get('seconds', 0.0)):.2f}s wall",
+                f"retry  {record.get('label', '?')} "
+                f"(attempt {record.get('attempt', '?')}, "
+                f"{record.get('reason', 'error')}, "
+                f"backoff {float(record.get('backoff_seconds', 0.0)):.2f}s)",
                 file=self.stream,
             )
+        elif event == "job_failed":
+            self._done += 1
+            total = self._total if self._total else "?"
+            print(
+                f"[{self._done}/{total}] FAILED {record.get('label', '?')} "
+                f"({record.get('failure', 'error')} after "
+                f"{record.get('attempts', '?')} attempt(s))",
+                file=self.stream,
+            )
+        elif event == "job_skipped":
+            self._done += 1
+            total = self._total if self._total else "?"
+            print(
+                f"[{self._done}/{total}] skipped {record.get('label', '?')} "
+                f"({record.get('reason', '?')})",
+                file=self.stream,
+            )
+        elif event == "worker_crash":
+            print(
+                f"worker crashed; respawning pool "
+                f"({record.get('in_flight', 0)} job(s) requeued as suspects)",
+                file=self.stream,
+            )
+        elif event == "sweep_resumed":
+            print(
+                f"resuming: {record.get('completed', 0)} cell(s) already done, "
+                f"{record.get('quarantined', 0)} quarantined",
+                file=self.stream,
+            )
+        elif event == "sweep_finished":
+            summary = (
+                f"finished: {record.get('executed', 0)} executed, "
+                f"{record.get('cache_hits', 0)} cache hit(s), "
+                f"{float(record.get('seconds', 0.0)):.2f}s wall"
+            )
+            failures = int(record.get("failures", 0) or 0)
+            if failures:
+                summary += f", {failures} FAILED"
+            print(summary, file=self.stream)

@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.core.config import AutoNcsConfig
 from repro.networks.generators import random_sparse_network
+from repro.runtime.resilience import JobFailure
+from repro.utils.canonical import stable_hash
 
 #: Seeds accepted by a job: a plain int, a SeedSequence, or None (no RNG).
 JobSeed = Union[None, int, np.random.SeedSequence]
@@ -68,7 +70,16 @@ class Job:
 
 @dataclass
 class JobResult:
-    """Outcome of one executed (or cache-served) job."""
+    """Outcome of one executed (or cache-served) job.
+
+    ``failure`` is ``None`` for a successful job; a failed job (only
+    possible when the runner carries a
+    :class:`~repro.runtime.resilience.ResilienceConfig` that is not
+    fail-fast) has ``value=None`` and a structured
+    :class:`~repro.runtime.resilience.JobFailure` here instead.
+    ``attempts`` counts executions charged to the job (1 for a clean
+    first-attempt success; 0 for a cache hit).
+    """
 
     index: int
     label: str
@@ -77,6 +88,13 @@ class JobResult:
     seconds: float = 0.0
     cache_hit: bool = False
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    attempts: int = 1
+    failure: Optional[JobFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced a value (executed or cached)."""
+        return self.failure is None
 
 
 @dataclass
@@ -113,6 +131,25 @@ class SweepSpec:
     def cells(self) -> List[Tuple[int, float]]:
         """The (size, density) grid in row-major order."""
         return list(itertools.product(self.sizes, self.densities))
+
+    def sweep_key(self) -> str:
+        """A stable content-address of the sweep itself.
+
+        Keys the crash-safe journal (and its default file name), so a
+        ``--resume`` against a *different* grid/seed/config is detectable
+        rather than silently mixing runs.  The display ``name`` is
+        deliberately excluded — renaming a sweep must not orphan its
+        journal (cell labels and cache keys key on content, not name).
+        """
+        return stable_hash(
+            {
+                "sizes": self.sizes,
+                "densities": self.densities,
+                "seed": self.seed,
+                "kind": self.kind,
+                "config": self.config.cache_key(),
+            }
+        )
 
     def __len__(self) -> int:
         return len(self.sizes) * len(self.densities)

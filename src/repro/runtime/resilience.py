@@ -1,0 +1,289 @@
+"""Failure policy, retry/backoff, and the crash-safe sweep journal.
+
+This module defines *what the runner does when jobs misbehave*:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  **deterministic** jitter (a stable hash of the job's identity and the
+  attempt number, not ``random``), so two runs of the same failing sweep
+  sleep the same amounts and chaos runs replay bit-for-bit.
+* :class:`ResilienceConfig` — per-job wall-clock timeout, the retry
+  policy, poison-job quarantine threshold and the fail-fast switch.
+  The module-level :data:`LEGACY` config reproduces the pre-resilience
+  behaviour (one attempt, first failure raises) and is what a
+  ``Runner`` without an explicit config uses.
+* :class:`JobFailure` — the structured record a failed job leaves behind
+  instead of aborting the sweep: failure class (``error`` / ``timeout``
+  / ``crash`` / ``unknown-kind`` / ``quarantined``), message, attempts.
+* :class:`SweepJournal` — an append-only JSONL file recording every
+  finished/failed cell under its artifact-cache key.  Appends are
+  flushed **and fsynced**, so a SIGKILLed sweep leaves a readable
+  prefix; ``python -m repro sweep --resume`` replays it to skip
+  quarantined cells and report what was already done (the values
+  themselves come back through the content-addressed cache, which is
+  what makes the resumed results bitwise-identical).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from repro.runtime.chaos import _stable_unit
+from repro.utils.canonical import canonical_json
+
+#: Failure classes carried by :class:`JobFailure`.
+FAILURE_KINDS = ("error", "timeout", "crash", "unknown-kind", "quarantined")
+
+
+class UnknownJobKindError(RuntimeError):
+    """A job named an executor kind that is not registered.
+
+    Structured (job label + the registered kinds) and **non-retryable**:
+    retrying cannot register the executor, so the runner records the
+    failure immediately instead of burning attempts or crashing the
+    worker with a bare ``KeyError``.
+    """
+
+    def __init__(self, label: str, kind: str, known: List[str]) -> None:
+        super().__init__(
+            f"job {label!r}: no executor registered for kind {kind!r} "
+            f"(known: {known})"
+        )
+        self.label = label
+        self.kind = kind
+        self.known = list(known)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff and deterministic jitter.
+
+    ``backoff_seconds(attempt)`` for attempt *n* (0-based; the sleep
+    happens before attempt ``n+1``) is::
+
+        min(backoff_max, backoff_base * backoff_multiplier ** n)
+          * (1 + jitter * (2*u - 1))
+
+    where ``u`` is a stable hash of (token, attempt) in ``[0, 1)`` — the
+    same job backs off by the same amounts in every run.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(f"jitter must lie in [0, 1], got {self.jitter}")
+
+    def backoff_seconds(self, attempt: int, token: Any = "") -> float:
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_multiplier ** attempt,
+        )
+        if self.jitter == 0.0:
+            return base
+        unit = _stable_unit("backoff", token, attempt)
+        return base * (1.0 + self.jitter * (2.0 * unit - 1.0))
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """How the runner degrades under failures.
+
+    Attributes
+    ----------
+    retry:
+        Retry policy applied to retryable failures (errors, timeouts,
+        crashes).  Unknown job kinds never retry.
+    timeout_seconds:
+        Per-job wall-clock budget.  On the pool path the deadline is
+        enforced preemptively (the hung worker is killed and the pool
+        respawned); inline (``n_jobs=1``) a *raised* hang is classified
+        as a timeout, but a slow successful job is never discarded —
+        that would make results machine-dependent.
+    quarantine_after:
+        Definitive worker crashes (observed in isolation) a job may
+        cause before it is quarantined as poison and recorded as a
+        :class:`JobFailure` without further retries.
+    fail_fast:
+        ``True`` restores the legacy contract: the first exhausted
+        failure raises instead of being collected.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    timeout_seconds: Optional[float] = None
+    quarantine_after: int = 2
+    fail_fast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+
+
+#: The pre-resilience contract: one attempt, first failure raises.
+LEGACY = ResilienceConfig(
+    retry=RetryPolicy(max_attempts=1), fail_fast=True, quarantine_after=1
+)
+
+
+@dataclass
+class JobFailure:
+    """A structured record of one job that did not produce a value."""
+
+    index: int
+    label: str
+    kind: str
+    failure: str  # one of FAILURE_KINDS
+    message: str
+    attempts: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.failure not in FAILURE_KINDS:
+            raise ValueError(
+                f"unknown failure class {self.failure!r} (known: {FAILURE_KINDS})"
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "label": self.label,
+            "kind": self.kind,
+            "failure": self.failure,
+            "message": self.message,
+            "attempts": self.attempts,
+            "seconds": self.seconds,
+        }
+
+
+# ----------------------------------------------------------------------
+# Sweep journal
+# ----------------------------------------------------------------------
+@dataclass
+class JournalState:
+    """What a loaded journal says about an earlier (killed) run."""
+
+    sweep_key: Optional[str] = None
+    done: Set[str] = field(default_factory=set)
+    failed: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    quarantined: Set[str] = field(default_factory=set)
+    runs: int = 0
+
+    def __bool__(self) -> bool:
+        return bool(self.done or self.failed or self.quarantined or self.runs)
+
+
+class SweepJournal:
+    """Append-only JSONL record of sweep progress, keyed by cache key.
+
+    One line per event; every append is flushed and fsynced, so the file
+    survives a SIGKILL with at worst the final line truncated (truncated
+    tails are skipped on load).  Records:
+
+    * ``run_started`` — sweep key, job count, resume flag;
+    * ``job_done`` — cache key, label, status (``ok``/``cached``),
+      seconds, attempts;
+    * ``job_failed`` — cache key, failure class, message, attempts,
+      quarantine flag.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._handle = None
+
+    # ------------------------------------------------------------------
+    def _append(self, record: Dict[str, Any]) -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(canonical_json(record) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def run_started(self, sweep_key: Optional[str], jobs: int,
+                    resumed: bool = False) -> None:
+        self._append({
+            "event": "run_started", "sweep": sweep_key,
+            "jobs": jobs, "resumed": resumed,
+        })
+
+    def job_done(self, key: str, *, label: str, kind: str, status: str,
+                 seconds: float, attempts: int) -> None:
+        self._append({
+            "event": "job_done", "key": key, "label": label, "kind": kind,
+            "status": status, "seconds": seconds, "attempts": attempts,
+        })
+
+    def job_failed(self, key: str, *, failure: JobFailure,
+                   quarantined: bool) -> None:
+        self._append({
+            "event": "job_failed", "key": key, "quarantined": quarantined,
+            **failure.to_dict(),
+        })
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def load_state(self) -> JournalState:
+        """Replay the journal into a :class:`JournalState` (missing → empty)."""
+        state = JournalState()
+        if not self.path.exists():
+            return state
+        for record in self._iter_records():
+            event = record.get("event")
+            if event == "run_started":
+                state.runs += 1
+                if state.sweep_key is None:
+                    state.sweep_key = record.get("sweep")
+            elif event == "job_done":
+                key = record.get("key")
+                if key:
+                    state.done.add(key)
+                    state.failed.pop(key, None)
+                    state.quarantined.discard(key)
+            elif event == "job_failed":
+                key = record.get("key")
+                if key:
+                    state.failed[key] = record
+                    state.done.discard(key)
+                    if record.get("quarantined"):
+                        state.quarantined.add(key)
+        return state
+
+    def _iter_records(self) -> Iterable[Dict[str, Any]]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A SIGKILL mid-append leaves at most one truncated
+                    # tail line; everything before it is intact.
+                    continue
+                if isinstance(record, dict):
+                    yield record

@@ -48,9 +48,28 @@ class TestSuiteRun:
         assert [r.name for r in result.benchmarks] == [
             "flow.tb1.ordered",
             "flow.tb1.negotiated",
+            "chaos.null",
+            "chaos.transient",
         ]
-        for record in result.benchmarks:
+        for record in result.benchmarks[:2]:
             assert record.qor["area_um2"] > 0
+
+    def test_chaos_records_pin_resilience_accounting(self):
+        result = run_suite("flow", fast=True, dimension=DIM)
+        by_name = {record.name: record for record in result.benchmarks}
+        null = by_name["chaos.null"]
+        # The null-plan contract: a resilient runner with chaos off must
+        # not retry, inject or fail anything.
+        assert null.qor["retries"] == 0.0
+        assert null.qor["faults_injected"] == 0.0
+        assert null.qor["failures"] == 0.0
+        transient = by_name["chaos.transient"]
+        # Injected flakes all recover, and recovery replays the same
+        # values (the checksum matches the fault-free grid bitwise).
+        assert transient.qor["faults_injected"] > 0
+        assert transient.qor["retries"] == transient.qor["faults_injected"]
+        assert transient.qor["failures"] == 0.0
+        assert transient.qor["checksum"] == null.qor["checksum"]
 
     def test_unknown_suite_rejected(self):
         with pytest.raises(ValueError, match="unknown bench suite"):

@@ -1,5 +1,9 @@
 """Tests for the content-addressed artifact cache."""
 
+import json
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
 import numpy as np
 import pytest
 
@@ -11,6 +15,14 @@ def make_job(seed=7, key=None):
     if key is None:
         key = {"network": "abc123", "size": 40}
     return Job(kind="autoncs", label="j", payload={}, seed=seed, key=key)
+
+
+def _store_many(root, key, writer, rounds):
+    """Worker: hammer one key with this writer's matching value+meta."""
+    cache = ArtifactCache(root, version="1.0")
+    for _ in range(rounds):
+        cache.store(key, {"writer": writer}, meta={"writer": writer})
+    return writer
 
 
 class TestJobCacheKey:
@@ -99,6 +111,28 @@ class TestArtifactCache:
 
         cache = ArtifactCache(tmp_path)
         assert cache.version == repro.__version__
+
+    def test_concurrent_writers_commit_matching_pairs(self, tmp_path):
+        # Regression test for the store race: the pickle and its JSON
+        # sidecar commit as one unit under the per-key lock, so two
+        # writers hammering the same key can never interleave one
+        # writer's object with the other's metadata.
+        cache = ArtifactCache(tmp_path, version="1.0")
+        key = cache.key_for(make_job())
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [
+                pool.submit(_store_many, str(tmp_path), key, writer, 25)
+                for writer in range(4)
+            ]
+            for future in futures:
+                future.result()
+        path = cache.path_for(key)
+        with open(path, "rb") as handle:
+            value = pickle.load(handle)
+        sidecar = json.loads(path.with_suffix(".json").read_text())
+        assert value["writer"] == sidecar["writer"]
+        hit, read_back = cache.lookup(key)
+        assert hit and read_back == value
 
     def test_rejects_unsupported_seed_type(self):
         job = Job(kind="autoncs", label="j", payload={},

@@ -1,0 +1,324 @@
+"""Tests for the failure policy, journal and resumable/resilient runner.
+
+Covers the resilience layer end to end: deterministic backoff, the
+structured failure records, the crash-safe journal (including truncated
+tails), quarantine-aware resume, pool respawn after worker death,
+preemptive wall-clock timeouts, and the acceptance contract that an
+interrupted-then-resumed sweep is bitwise-identical to an uninterrupted
+one.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ArtifactCache,
+    EventLog,
+    Job,
+    JobFailure,
+    ResilienceConfig,
+    RetryPolicy,
+    Runner,
+    SweepJournal,
+    UnknownJobKindError,
+    register_executor,
+    registered_kinds,
+)
+
+QUICK = ResilienceConfig(
+    retry=RetryPolicy(max_attempts=3, backoff_base=0.001, backoff_max=0.002)
+)
+
+
+def _array_job(rng, n):
+    return rng.standard_normal(int(n))
+
+
+def _crash_job(rng, poison):
+    if poison:
+        os._exit(43)
+    return float(rng.standard_normal(8).sum())
+
+
+def _sleep_job(rng, seconds):
+    time.sleep(seconds)
+    return seconds
+
+
+register_executor("res_array", _array_job)
+register_executor("res_crash", _crash_job)
+register_executor("res_sleep", _sleep_job)
+
+
+def array_job(i, key=True):
+    return Job(kind="res_array", label=f"a{i}", payload={"n": 16},
+               seed=200 + i, key={"cell": i} if key else None)
+
+
+class TestRetryPolicy:
+    def test_exponential_shape_without_jitter(self):
+        policy = RetryPolicy(max_attempts=5, backoff_base=0.1,
+                             backoff_multiplier=2.0, backoff_max=0.5,
+                             jitter=0.0)
+        assert policy.backoff_seconds(0) == pytest.approx(0.1)
+        assert policy.backoff_seconds(1) == pytest.approx(0.2)
+        assert policy.backoff_seconds(2) == pytest.approx(0.4)
+        assert policy.backoff_seconds(3) == pytest.approx(0.5)  # capped
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base=0.1, jitter=0.25)
+        first = policy.backoff_seconds(0, token="job-1")
+        assert first == policy.backoff_seconds(0, token="job-1")
+        assert first != policy.backoff_seconds(0, token="job-2")
+        assert 0.075 <= first <= 0.125
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError, match="timeout_seconds"):
+            ResilienceConfig(timeout_seconds=0.0)
+        with pytest.raises(ValueError, match="quarantine_after"):
+            ResilienceConfig(quarantine_after=0)
+
+
+class TestJobFailure:
+    def test_rejects_unknown_class(self):
+        with pytest.raises(ValueError, match="unknown failure class"):
+            JobFailure(index=0, label="j", kind="k", failure="gremlin",
+                       message="m")
+
+    def test_to_dict_roundtrips_fields(self):
+        failure = JobFailure(index=2, label="j", kind="k", failure="timeout",
+                             message="m", attempts=3, seconds=1.5)
+        payload = failure.to_dict()
+        assert payload["failure"] == "timeout"
+        assert payload["attempts"] == 3
+
+
+class TestUnknownKind:
+    def test_legacy_runner_raises_structured_error(self):
+        job = Job(kind="mystery", label="m", payload={})
+        with pytest.raises(UnknownJobKindError, match="mystery") as excinfo:
+            Runner().run([job])
+        assert "'m'" in str(excinfo.value)
+        for kind in registered_kinds()[:1]:
+            assert kind in str(excinfo.value)
+
+    def test_resilient_runner_records_without_burning_retries(self):
+        events = EventLog()
+        job = Job(kind="mystery", label="m", payload={})
+        result = Runner(resilience=QUICK, events=events).run([job])[0]
+        assert result.failure is not None
+        assert result.failure.failure == "unknown-kind"
+        assert result.failure.attempts == 1  # non-retryable
+        assert not events.of_kind("job_retry")
+
+
+class TestSweepJournal:
+    def test_roundtrip_and_replay(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            journal.run_started("sweep-key", jobs=3)
+            journal.job_done("k1", label="a", kind="x", status="ok",
+                             seconds=1.0, attempts=1)
+            journal.job_failed(
+                "k2", quarantined=True,
+                failure=JobFailure(index=1, label="b", kind="x",
+                                   failure="crash", message="died"),
+            )
+        state = SweepJournal(path).load_state()
+        assert state.sweep_key == "sweep-key"
+        assert state.runs == 1
+        assert state.done == {"k1"}
+        assert state.quarantined == {"k2"}
+        assert state.failed["k2"]["failure"] == "crash"
+
+    def test_success_clears_earlier_failure(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            journal.job_failed(
+                "k", quarantined=True,
+                failure=JobFailure(index=0, label="a", kind="x",
+                                   failure="crash", message="died"),
+            )
+            journal.job_done("k", label="a", kind="x", status="ok",
+                             seconds=1.0, attempts=2)
+        state = SweepJournal(path).load_state()
+        assert state.done == {"k"}
+        assert not state.quarantined and not state.failed
+
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with SweepJournal(path) as journal:
+            journal.job_done("k1", label="a", kind="x", status="ok",
+                             seconds=1.0, attempts=1)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"event": "job_done", "key": "k2", "trunc')  # SIGKILL
+        state = SweepJournal(path).load_state()
+        assert state.done == {"k1"}
+
+    def test_missing_file_is_empty_state(self, tmp_path):
+        state = SweepJournal(tmp_path / "nope.jsonl").load_state()
+        assert not state
+
+
+class TestResumableRuns:
+    def test_interrupted_then_resumed_is_bitwise_identical(self, tmp_path):
+        # Simulate a sweep killed after two of three cells: the journal
+        # and cache hold the prefix; the resumed run serves it from the
+        # cache and executes only the missing cell.
+        jobs = [array_job(i) for i in range(3)]
+        cache = ArtifactCache(tmp_path / "cache", version="1.0")
+        journal_path = tmp_path / "journal.jsonl"
+        with SweepJournal(journal_path) as journal:
+            Runner(cache=cache, journal=journal,
+                   resilience=QUICK).run(jobs[:2])
+        events = EventLog()
+        with SweepJournal(journal_path) as journal:
+            resumed = Runner(cache=cache, journal=journal, events=events,
+                             resilience=QUICK).run(jobs, resume=True)
+        assert [r.cache_hit for r in resumed] == [True, True, False]
+        clean = Runner(
+            cache=ArtifactCache(tmp_path / "clean", version="1.0"),
+            resilience=QUICK,
+        ).run(jobs)
+        for mine, theirs in zip(resumed, clean):
+            assert np.array_equal(mine.value, theirs.value)
+
+    def test_resume_skips_quarantined_cells(self, tmp_path):
+        jobs = [array_job(0)]
+        cache = ArtifactCache(tmp_path / "cache", version="1.0")
+        key = cache.key_for(jobs[0])
+        journal_path = tmp_path / "journal.jsonl"
+        with SweepJournal(journal_path) as journal:
+            journal.job_failed(
+                key, quarantined=True,
+                failure=JobFailure(index=0, label="a0", kind="res_array",
+                                   failure="crash", message="poison"),
+            )
+        events = EventLog()
+        with SweepJournal(journal_path) as journal:
+            results = Runner(cache=cache, journal=journal, events=events,
+                             resilience=QUICK).run(jobs, resume=True)
+        assert results[0].failure is not None
+        assert results[0].failure.failure == "quarantined"
+        assert events.of_kind("job_skipped")
+        assert events.of_kind("sweep_resumed")
+
+    def test_without_resume_flag_journal_is_ignored(self, tmp_path):
+        jobs = [array_job(0)]
+        journal_path = tmp_path / "journal.jsonl"
+        with SweepJournal(journal_path) as journal:
+            journal.job_failed(
+                "whatever", quarantined=True,
+                failure=JobFailure(index=0, label="a0", kind="res_array",
+                                   failure="crash", message="poison"),
+            )
+        with SweepJournal(journal_path) as journal:
+            results = Runner(journal=journal,
+                             resilience=QUICK).run(jobs, resume=False)
+        assert results[0].failure is None
+
+
+class TestPartialResults:
+    def test_failures_collected_not_raised(self):
+        jobs = [array_job(0, key=False),
+                Job(kind="mystery", label="bad", payload={}),
+                array_job(1, key=False)]
+        results = Runner(resilience=QUICK).run(jobs)
+        assert [r.ok for r in results] == [True, False, True]
+        assert results[1].failure.failure == "unknown-kind"
+
+    def test_fail_fast_config_still_raises(self):
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.001),
+            fail_fast=True,
+        )
+        jobs = [Job(kind="mystery", label="bad", payload={})]
+        with pytest.raises(UnknownJobKindError):
+            Runner(resilience=config).run(jobs)
+
+
+class TestPoolResilience:
+    def test_worker_crash_quarantines_poison_and_spares_innocents(self):
+        jobs = [
+            Job(kind="res_crash", label=f"c{i}", payload={"poison": i == 1},
+                seed=i)
+            for i in range(4)
+        ]
+        events = EventLog()
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=6, backoff_base=0.001,
+                              backoff_max=0.002),
+            quarantine_after=2,
+        )
+        results = Runner(n_jobs=2, resilience=config,
+                         events=events).run(jobs)
+        assert results[1].failure is not None
+        assert results[1].failure.failure == "quarantined"
+        for index in (0, 2, 3):
+            assert results[index].failure is None, results[index]
+        assert events.of_kind("worker_crash")
+        assert events.of_kind("job_quarantined")
+
+    def test_pool_timeout_preempts_hung_worker(self):
+        jobs = [
+            Job(kind="res_sleep", label="hung", payload={"seconds": 30.0}),
+            Job(kind="res_sleep", label="fast", payload={"seconds": 0.01}),
+        ]
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1),
+            timeout_seconds=1.0,
+        )
+        events = EventLog()
+        started = time.monotonic()
+        results = Runner(n_jobs=2, resilience=config,
+                         events=events).run(jobs)
+        assert time.monotonic() - started < 20.0
+        assert results[0].failure is not None
+        assert results[0].failure.failure == "timeout"
+        assert results[1].failure is None
+        assert events.of_kind("job_timeout")
+
+    def test_pool_determinism_with_retries(self):
+        # Retried jobs replay their construction-time seeds: a pool run
+        # with transient chaos matches a clean inline run bitwise.
+        from repro.runtime import FaultPlan, FaultRule
+
+        jobs = [array_job(i, key=False) for i in range(3)]
+        clean = Runner().run(jobs)
+        plan = FaultPlan(rules=(
+            FaultRule(site="job.run", kind="transient", until_attempt=1),
+        ), seed=7)
+        chaotic = Runner(n_jobs=2, resilience=QUICK, chaos=plan).run(jobs)
+        for mine, theirs in zip(chaotic, clean):
+            assert np.array_equal(mine.value, theirs.value)
+
+
+class TestSweepResultSurface:
+    def test_failed_rows_and_table(self):
+        from repro.core.config import fast_config
+        from repro.runtime import SweepSpec
+        from repro.runtime.runner import SweepResult
+        from repro.runtime.jobs import JobResult
+
+        spec = SweepSpec(sizes=(30,), densities=(0.08,), seed=1,
+                         kind="autoncs", config=fast_config())
+        failure = JobFailure(index=0, label="n=30 d=0.08", kind="autoncs",
+                             failure="timeout", message="m", attempts=3)
+        result = SweepResult(spec=spec, results=[
+            JobResult(index=0, label="n=30 d=0.08", kind="autoncs",
+                      value=None, failure=failure, attempts=3),
+        ])
+        assert result.succeeded == 0
+        assert [f.failure for f in result.failures] == ["timeout"]
+        row = result.cell_rows()[0]
+        assert row["status"] == "failed" and row["attempts"] == 3
+        table = result.format_table()
+        assert "FAILED(timeout, 3 attempt(s))" in table
+        assert "1 FAILED" in table

@@ -234,3 +234,44 @@ class TestSweepCommand:
             return rows
 
         assert table([]) == table(["--jobs", "4"])
+
+    def test_chaos_transient_recovers_identically(self, tmp_path, capsys):
+        def table(extra):
+            assert main(self.ARGS + ["--no-cache"] + extra) == 0
+            out = capsys.readouterr().out
+            rows = [line.split()[:5] for line in out.splitlines()
+                    if line.strip().startswith(("30", "40"))]
+            assert rows
+            return rows
+
+        clean = table([])
+        chaotic = table(["--chaos", "transient@job.run:until=1",
+                         "--retries", "3"])
+        assert clean == chaotic
+
+    def test_resume_flag_requires_cache(self, capsys):
+        code = main(self.ARGS + ["--no-cache", "--resume"])
+        assert code == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_resume_serves_finished_cells(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        journal = tmp_path / "journal.jsonl"
+        base = ["sweep", "--densities", "0.08", "--fast", "--seed", "11",
+                "--cache-dir", str(cache_dir), "--journal", str(journal)]
+        # "killed" run: only the first cell completed
+        assert main(base + ["--sizes", "30"]) == 0
+        capsys.readouterr()
+        assert journal.exists()
+        code = main(base + ["--sizes", "30", "40", "--resume"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 cell(s): 1 executed, 1 cache hit(s)" in out
+
+    def test_persistent_chaos_reports_failure_exit_one(self, capsys):
+        code = main(self.ARGS + ["--no-cache", "--chaos", "error@job.run",
+                                 "--retries", "2"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out
+        assert "ChaosError" in captured.err
