@@ -1,0 +1,51 @@
+"""CI smoke for the mapping service against a live server.
+
+Drives a fixed-seed map + verify + sweep mix through the HTTP client,
+resubmits the map request to force a dedup/cache hit, and asserts the
+serving mix the server reports.  Exits non-zero (with the stats dump)
+on any miss so the workflow can upload the server log.
+"""
+
+import json
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+MIX = [
+    {"kind": "map", "neurons": 24, "density": 0.2, "seed": 7},
+    {"kind": "verify", "neurons": 24, "density": 0.2, "seed": 7},
+    {"kind": "sweep", "sizes": [16, 20], "densities": [0.2], "seed": 7},
+    # Identical to the first request: must be served by dedup or cache,
+    # never a second execution.
+    {"kind": "map", "neurons": 24, "density": 0.2, "seed": 7},
+]
+
+
+def main() -> int:
+    base_url = sys.argv[1] if len(sys.argv) > 1 else "http://127.0.0.1:8787"
+    client = ServiceClient(base_url, timeout=300)
+    assert client.healthy(), "server did not answer /healthz"
+
+    for payload in MIX:
+        done = client.submit(payload, wait=True, timeout=300)
+        print(f"{payload['kind']:>6}: {done['state']} "
+              f"(coalesced={done['coalesced']}, cache_hit={done['cache_hit']})")
+        assert done["state"] == "done", f"job not green: {done}"
+    repeat = client.submit(MIX[0], wait=True, timeout=300)
+    assert repeat["coalesced"], "identical resubmission did not coalesce"
+
+    stats = client.stats()
+    print(json.dumps(stats, indent=2))
+    served_without_execution = (
+        stats["counters"].get("cache_hits", 0)
+        + stats["counters"].get("dedup_coalesced", 0)
+    )
+    assert served_without_execution >= 1, "expected at least one dedup/cache hit"
+    assert stats["counters"].get("failed", 0) == 0, "server recorded failed jobs"
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,16 @@ Suites
     runner, no faults; the gate pins retries/faults/failures at zero)
     and ``chaos.transient`` (injected flakes; the gate pins full
     recovery).
+``service``
+    A load test of the mapping service (:mod:`repro.service`): an
+    in-process HTTP server under a seeded ≥90 %-cache-hit request mix
+    (:mod:`repro.service.loadtest`).  Records p50/p99 latency and
+    throughput (machine-dependent, ungated by default) alongside the
+    deterministic serving invariants the gate pins: the miss ratio
+    (dedup must execute each unique flow exactly once), errors, and
+    the flow/failure counters.  The profile is fixed — independent of
+    ``--fast`` — so one committed baseline serves every CI lane
+    (``mode="load"`` in the JSON).
 
 Regression policy
 -----------------
@@ -29,7 +39,10 @@ All gated metrics are lower-is-better.  A candidate metric regresses
 when it exceeds ``baseline · (1 + threshold/100) + atol`` (small
 per-metric absolute slack absorbs benign cross-platform drift, see
 ``_ATOL``).  Wall time is machine-dependent and is only gated when an
-explicit ``--time-threshold`` is passed; QoR and counters are
+explicit ``--time-threshold`` is passed; the same policy covers
+latency/seconds-named QoR metrics, and throughput-style metrics
+(higher-is-better, machine-dependent) are recorded but never gated —
+see :func:`metric_gate`.  QoR and counters outside those classes are
 deterministic for a fixed seed and are gated by default.  Refresh the
 committed baselines intentionally with ``--update-baseline`` (the
 ``--update-golden`` of the perf layer) and commit the diff.
@@ -52,7 +65,7 @@ import numpy as np
 SCHEMA_VERSION = 1
 
 #: The known suites, in run order.
-SUITES = ("routing", "flow")
+SUITES = ("routing", "flow", "service")
 
 #: suite -> committed baseline file name (repo root).
 BASELINE_FILES = {suite: f"BENCH_{suite}.json" for suite in SUITES}
@@ -74,6 +87,37 @@ _ATOL = {
     "ripups": 48.0,
     "routing.maze_searches": 16.0,
 }
+
+#: The ``service`` suite's fixed load profile.  Deliberately independent
+#: of ``--fast``: latency percentiles need enough samples to be
+#: meaningful, and one profile means one committed baseline for every
+#: lane (the suite's JSON carries ``mode="load"``).
+SERVICE_MODE = "load"
+SERVICE_REQUESTS = 1200
+SERVICE_CLIENTS = 16
+SERVICE_UNIQUE_JOBS = 8
+SERVICE_WORKERS = 4
+
+#: Largest network in the service mix (doubles as the suite dimension).
+SERVICE_DIMENSION = 16 + 2 * (SERVICE_UNIQUE_JOBS - 1)
+
+
+def metric_gate(name: str) -> str:
+    """Gate class of a QoR/counter metric: ``always``/``time``/``never``.
+
+    ``time`` metrics (wall-clock-like: a name containing ``seconds`` or
+    ``latency``) are machine-dependent and only gate under an explicit
+    ``--time-threshold``; ``never`` metrics (``throughput``/``rps``/
+    ``per_second``) are higher-is-better *and* machine-dependent, so
+    they are recorded for trend reading but never gated.  Everything
+    else gates at the default threshold.
+    """
+    lowered = name.lower()
+    if any(marker in lowered for marker in ("throughput", "rps", "per_second")):
+        return "never"
+    if any(marker in lowered for marker in ("seconds", "latency")):
+        return "time"
+    return "always"
 
 
 @dataclass
@@ -293,6 +337,70 @@ def _bench_chaos_case(rng, *, plan_spec, seed, cells):
     }
 
 
+def _run_service_suite(seed: int) -> "SuiteResult":
+    """The ``service`` suite: an in-process server under the fixed mix.
+
+    The request mix is ``SERVICE_REQUESTS`` submissions cycling over
+    ``SERVICE_UNIQUE_JOBS`` distinct tiny flows from
+    ``SERVICE_CLIENTS`` threads — so the dedup/cache layer should
+    execute each unique flow exactly once (the gated ``miss_ratio``)
+    and serve everything else from the coalescer or the artifact cache.
+    Runs against a throwaway cache so results never leak between runs.
+    """
+    import tempfile
+
+    import repro
+    from repro.service import ServiceConfig, ServiceServer
+    from repro.service.loadtest import default_payloads, run_load
+    from repro.utils.timers import Timer
+
+    result = SuiteResult(
+        suite="service",
+        mode=SERVICE_MODE,
+        seed=seed,
+        dimension=SERVICE_DIMENSION,
+        package_version=repro.__version__,
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-bench-service-") as tmp:
+        config = ServiceConfig(
+            workers=SERVICE_WORKERS,
+            max_queue=max(64, SERVICE_UNIQUE_JOBS * 4),
+            cache_dir=Path(tmp) / "cache",
+        )
+        with ServiceServer(config) as server:
+            with Timer() as timer:
+                report = run_load(
+                    server.url,
+                    requests=SERVICE_REQUESTS,
+                    clients=SERVICE_CLIENTS,
+                    payloads=default_payloads(SERVICE_UNIQUE_JOBS, seed=seed),
+                )
+            metrics = server.service.metrics
+            executed = metrics.counter("jobs_executed")
+            failed = metrics.counter("failed")
+    result.benchmarks.append(
+        BenchRecord(
+            name="service.load",
+            tags=["service", "load", "http"],
+            wall_seconds=timer.elapsed,
+            qor={
+                "requests": float(report.requests),
+                "errors": float(report.errors),
+                "miss_ratio": executed / max(1, report.requests),
+                "p50_latency_seconds": report.p50_seconds,
+                "p99_latency_seconds": report.p99_seconds,
+                "throughput_rps": report.throughput_rps,
+            },
+            counters={
+                "service.jobs_executed": float(executed),
+                "service.failed": float(failed),
+                "service.rejected": float(report.rejected),
+            },
+        )
+    )
+    return result
+
+
 def _register_executors() -> None:
     from repro.runtime import register_executor
 
@@ -345,6 +453,10 @@ def run_suite(
 
     if suite not in SUITES:
         raise ValueError(f"unknown bench suite {suite!r} (known: {SUITES})")
+    if suite == "service":
+        # Fixed load profile, deliberately ignoring fast/dimension/
+        # testbenches — see the module docs.
+        return _run_service_suite(seed)
     _register_executors()
     mode = "fast" if fast else "full"
     dim = dimension if dimension else (FAST_DIMENSION if fast else FULL_DIMENSION)
@@ -478,11 +590,20 @@ def compare_to_baseline(
             if new is None:
                 failures.append(f"{base.name}: metric {metric!r} disappeared")
                 continue
-            limit = old * (1.0 + threshold_pct / 100.0) + _ATOL.get(metric, 0.0)
+            gate = metric_gate(metric)
+            if gate == "never":
+                continue
+            if gate == "time":
+                if time_threshold_pct is None:
+                    continue
+                pct = time_threshold_pct
+            else:
+                pct = threshold_pct
+            limit = old * (1.0 + pct / 100.0) + _ATOL.get(metric, 0.0)
             if new > limit:
                 failures.append(
                     f"{base.name}: {metric} regressed {old:,.2f} → {new:,.2f} "
-                    f"(limit {limit:,.2f} at +{threshold_pct:g}%)"
+                    f"(limit {limit:,.2f} at +{pct:g}%)"
                 )
         if time_threshold_pct is not None:
             limit = base.wall_seconds * (1.0 + time_threshold_pct / 100.0)

@@ -27,6 +27,11 @@ Commands
     Run the perf harness (:mod:`repro.bench`): tagged routing/flow
     benchmarks emitting schema-versioned ``BENCH_*.json``, with
     ``--check`` regression gating against the committed baselines.
+``serve``
+    Run the mapping service (:mod:`repro.service`): an async HTTP/JSON
+    job layer over the runtime engine — submit/status/result/cancel,
+    dedup by content, bounded queue with backpressure, progress
+    streaming and service metrics.
 """
 
 from __future__ import annotations
@@ -353,6 +358,32 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return run_bench_command(args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServiceConfig
+    from repro.service.http import ServiceServer
+
+    config = ServiceConfig(
+        workers=args.workers,
+        max_queue=args.max_queue,
+        cache_dir=args.cache_dir,
+        max_cache_bytes=args.max_cache_bytes,
+        retries=args.retries,
+        timeout_seconds=args.timeout,
+    )
+    server = ServiceServer(config, host=args.host, port=args.port,
+                           verbose=args.verbose)
+    print(f"mapping service listening on {server.url}")
+    print(f"  workers={config.workers} max_queue={config.max_queue} "
+          f"cache={config.cache_dir}")
+    print("  POST /jobs  GET /jobs/<id>[/result|/events]  GET /stats  "
+          "(ctrl-c to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    return 0
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
     network = load_network_npz(args.network)
     clusters = None
@@ -507,6 +538,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_bench_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve", help="run the mapping service (async HTTP job layer)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8787,
+                       help="bind port (default 8787; 0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="service worker threads (default 2)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="queued-job bound; beyond it submissions get "
+                            "429 + Retry-After (default 64)")
+    serve.add_argument("--cache-dir", default=".repro-cache",
+                       help="artifact cache directory (default .repro-cache)")
+    serve.add_argument("--max-cache-bytes", type=int, default=None,
+                       metavar="BYTES",
+                       help="LRU-evict cached artifacts beyond this size "
+                            "(default: unbounded)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log every HTTP request")
+    _add_resilience_arguments(serve, retries_default=2)
+    serve.set_defaults(func=_cmd_serve)
 
     render = sub.add_parser("render", help="render a saved network to SVG")
     render.add_argument("network", help="a .npz network file")

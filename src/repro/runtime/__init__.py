@@ -40,7 +40,12 @@ from repro.runtime.chaos import (
     chaos_point,
     chaos_scope,
 )
-from repro.runtime.events import EventLog, ProgressPrinter
+from repro.runtime.events import (
+    EventLog,
+    ProgressPrinter,
+    follow_trace,
+    tail_trace,
+)
 from repro.runtime.jobs import Job, JobResult, SweepSpec
 from repro.runtime.resilience import (
     JobFailure,
@@ -78,7 +83,9 @@ __all__ = [
     "chaos_point",
     "chaos_scope",
     "default_n_jobs",
+    "follow_trace",
     "job_cache_key",
+    "tail_trace",
     "register_executor",
     "registered_kinds",
 ]

@@ -18,6 +18,13 @@ but without the lock two writers could interleave, leaving one writer's
 pickle next to the other's metadata.  To invalidate everything, delete
 the cache root (or call :meth:`ArtifactCache.clear`).
 
+A cache shared by a long-lived process (the :mod:`repro.service` job
+server) must not grow without bound: pass ``max_bytes`` to cap the
+store.  Every hit bumps the artifact's mtime, so :meth:`~ArtifactCache.
+evict` — called automatically after each :meth:`~ArtifactCache.store`
+— drops least-recently-used entries (object + sidecar pair, deleted
+under the per-key lock) until the store fits again.
+
 The ``cache.store`` chaos site (:mod:`repro.runtime.chaos`) can corrupt
 a freshly written artifact deterministically, exercising the
 corrupt-entry recovery path end to end.
@@ -84,15 +91,28 @@ class ArtifactCache:
         Version string folded into every key; defaults to the installed
         ``repro`` package version, so upgrading the code invalidates old
         artifacts wholesale.
+    max_bytes:
+        Optional size bound on the object store.  When set, every
+        :meth:`store` triggers an LRU :meth:`evict` pass; ``None``
+        (the default) never evicts.
     """
 
-    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR, version: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        root: os.PathLike = DEFAULT_CACHE_DIR,
+        version: Optional[str] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.root = Path(root)
         if version is None:
             from repro import __version__ as version
         self.version = str(version)
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     @property
@@ -132,6 +152,12 @@ class ArtifactCache:
             self._record_hit_rate()
             return False, None
         self.hits += 1
+        if self.max_bytes is not None:
+            # LRU bookkeeping: a hit makes the entry "recently used".
+            # mtime (not atime) because atime updates are unreliable
+            # under relatime/noatime mounts.
+            with contextlib.suppress(OSError):
+                os.utime(path)
         get_recorder().count("cache.hits")
         self._record_hit_rate()
         return True, value
@@ -165,6 +191,8 @@ class ArtifactCache:
             self._atomic_write(path, payload)
             self._atomic_write(path.with_suffix(".json"), sidecar_bytes)
         get_recorder().count("cache.stores")
+        if self.max_bytes is not None:
+            self.evict()
         return path
 
     def contains(self, key: Optional[str]) -> bool:
@@ -182,6 +210,55 @@ class ArtifactCache:
             path.with_suffix(".lock").unlink(missing_ok=True)
             removed += 1
         return removed
+
+    def total_bytes(self) -> int:
+        """Bytes held by the object store (pickles + JSON sidecars)."""
+        total = 0
+        if not self.objects_dir.exists():
+            return total
+        for path in self.objects_dir.rglob("*.pkl"):
+            for member in (path, path.with_suffix(".json")):
+                with contextlib.suppress(OSError):
+                    total += member.stat().st_size
+        return total
+
+    def evict(self, max_bytes: Optional[int] = None) -> int:
+        """Drop least-recently-used entries until the store fits.
+
+        ``max_bytes`` overrides the instance bound for this pass (useful
+        for a one-off trim); with neither set this is a no-op.  Entries
+        are ordered by artifact mtime — bumped on every hit — and each
+        object + sidecar pair is deleted under its per-key lock, so a
+        concurrent reader either sees the full pair or neither file.
+        The most recent entry always survives, even if oversized.
+        Returns the number of entries evicted.
+        """
+        bound = max_bytes if max_bytes is not None else self.max_bytes
+        if bound is None or not self.objects_dir.exists():
+            return 0
+        entries = []  # (mtime, bytes, key)
+        for path in self.objects_dir.rglob("*.pkl"):
+            size = 0
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # evicted/removed by a concurrent writer
+            size += stat.st_size
+            with contextlib.suppress(OSError):
+                size += path.with_suffix(".json").stat().st_size
+            entries.append((stat.st_mtime, size, path.stem))
+        total = sum(size for _mtime, size, _key in entries)
+        entries.sort()
+        evicted = 0
+        recorder = get_recorder()
+        while total > bound and len(entries) > 1:
+            _mtime, size, key = entries.pop(0)
+            self._remove(key)
+            total -= size
+            evicted += 1
+            self.evictions += 1
+            recorder.count("cache.evictions")
+        return evicted
 
     def __len__(self) -> int:
         if not self.objects_dir.exists():

@@ -8,17 +8,86 @@ combination of sinks:
 * an in-memory list (always; inspectable by tests and callers),
 * a JSONL trace file (one canonical-JSON object per line), and
 * a terminal progress printer (:class:`ProgressPrinter`).
+
+The trace file doubles as the *progress stream* of the job service
+(:mod:`repro.service`): :func:`tail_trace` reads new records from a
+byte offset while a writer is still appending — a torn final line
+(flushed mid-write, or caught between two ``write`` calls) is left
+unconsumed instead of raising, so a follower simply picks it up whole
+on the next poll.  :func:`follow_trace` wraps that into a polling
+generator.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Optional, TextIO
+from typing import Any, Callable, Dict, Iterator, List, Optional, TextIO, Tuple
 
 from repro.observability import get_recorder
 from repro.utils.canonical import canonical_json
+
+
+def tail_trace(path, offset: int = 0) -> Tuple[List[Dict[str, Any]], int]:
+    """Read complete JSONL records from ``path`` starting at byte ``offset``.
+
+    Returns ``(records, new_offset)``.  Safe against a concurrent
+    writer: only byte runs terminated by a newline are consumed, so a
+    partial last line (torn write) stays in the file for the next call
+    instead of raising ``JSONDecodeError``.  A *complete* but
+    unparseable line (e.g. the truncated tail of a crashed writer that
+    a later writer wrote past) is skipped.  A missing file reads as
+    empty — the writer may simply not have produced it yet.
+    """
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            chunk = handle.read()
+    except FileNotFoundError:
+        return [], offset
+    if not chunk:
+        return [], offset
+    consumed = chunk.rfind(b"\n") + 1
+    if consumed == 0:  # only a partial line so far
+        return [], offset
+    records: List[Dict[str, Any]] = []
+    for line in chunk[:consumed].splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records, offset + consumed
+
+
+def follow_trace(
+    path,
+    offset: int = 0,
+    poll_seconds: float = 0.05,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Yield trace records as they are appended (a polling ``tail -f``).
+
+    ``stop`` is consulted between polls; when it returns true, one final
+    drain runs (so records emitted just before the stop condition are
+    not lost) and the generator ends.  With no ``stop`` the generator
+    follows forever — callers should close it.
+    """
+    while True:
+        records, offset = tail_trace(path, offset)
+        yield from records
+        if stop is not None and stop():
+            records, offset = tail_trace(path, offset)
+            yield from records
+            return
+        if not records:
+            time.sleep(poll_seconds)
 
 
 class EventLog:
@@ -71,6 +140,16 @@ class EventLog:
     def of_kind(self, event: str) -> List[Dict[str, Any]]:
         """All recorded events of one kind, in emission order."""
         return [record for record in self.events if record["event"] == event]
+
+    def tail(self, offset: int = 0) -> Tuple[List[Dict[str, Any]], int]:
+        """Complete trace records from byte ``offset`` (see :func:`tail_trace`).
+
+        Requires a ``trace_path``; tolerates a concurrent writer — this
+        log itself, or another process appending to the same file.
+        """
+        if self.trace_path is None:
+            raise ValueError("EventLog.tail() needs a trace_path")
+        return tail_trace(self.trace_path, offset)
 
     def close(self) -> None:
         """Close the trace file (the in-memory log stays readable)."""

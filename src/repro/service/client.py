@@ -1,0 +1,119 @@
+"""A minimal stdlib client for the mapping service.
+
+Wraps :mod:`urllib.request` so scripts, tests and the load harness can
+talk to a running server without any HTTP boilerplate::
+
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8787")
+    done = client.submit({"kind": "map", "neurons": 48}, wait=True)
+    print(done["result"]["cost"])
+
+Server-side errors surface as :class:`ServiceError` carrying the HTTP
+status and the decoded ``{"error": ...}`` body — in particular a 429
+(queue full) exposes ``retry_after_seconds`` so callers can back off.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str,
+                 retry_after_seconds: Optional[float] = None) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+        self.retry_after_seconds = retry_after_seconds
+
+    @property
+    def queue_full(self) -> bool:
+        return self.status == 429
+
+
+class ServiceClient:
+    """Talks JSON to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 120.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Any:
+        data = None if body is None else json.dumps(body).encode("utf-8")
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            try:
+                message = json.loads(raw.decode("utf-8")).get("error", str(exc))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                message = raw.decode("utf-8", "replace") or str(exc)
+            retry_after = exc.headers.get("Retry-After")
+            raise ServiceError(
+                exc.code,
+                message,
+                retry_after_seconds=float(retry_after) if retry_after else None,
+            ) from None
+
+    # ------------------------------------------------------------------
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (ServiceError, OSError):
+            return False
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def submit(self, request: Dict[str, Any], wait: bool = False,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Submit a job payload; with ``wait=True`` returns the result body."""
+        path = "/jobs"
+        if wait:
+            path += f"?wait=1&timeout={timeout if timeout is not None else self.timeout:g}"
+        return self._request("POST", path, body=request)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def events(self, job_id: str, follow: bool = True) -> Iterator[Dict[str, Any]]:
+        """Yield the job's progress events (JSON lines; streams while live)."""
+        suffix = "" if follow else "?follow=0"
+        request = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/events{suffix}"
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    continue
+                if isinstance(record, dict):
+                    yield record

@@ -1,0 +1,401 @@
+"""The mapping service engine: dedup, queueing, workers, lifecycle.
+
+:class:`MappingService` is the transport-independent core of the
+serving stack (the HTTP layer in :mod:`repro.service.http` is a thin
+adapter over it):
+
+* **Deduplication** — submissions are identified by the content hash of
+  their work (network digest + config cache key + seed + kind, see
+  :meth:`~repro.service.jobs.JobRequest.materialize`).  An identical
+  submission while the first is queued or running coalesces onto the
+  same :class:`~repro.service.jobs.JobRecord` (same job id, one
+  execution); one arriving after completion is served from the retained
+  record, and a cold-started service re-serves old results through the
+  content-addressed :class:`~repro.runtime.cache.ArtifactCache` without
+  re-running the flow.
+* **Backpressure** — a bounded priority :class:`~repro.service.queue.
+  JobQueue`; submissions beyond capacity raise
+  :class:`~repro.service.queue.QueueFullError` (HTTP 429).
+* **Execution** — a pool of worker threads, each draining the queue
+  through its own :class:`~repro.runtime.runner.Runner` wired to the
+  shared artifact cache and the service-wide
+  :class:`~repro.runtime.resilience.ResilienceConfig` (retries with
+  deterministic backoff, per-job budgets, structured failures).
+* **Progress** — every job runs under an :class:`~repro.runtime.events.
+  EventLog` tracing to ``<spool>/<job_id>.jsonl``; clients stream it
+  with :func:`~repro.runtime.events.tail_trace`/:func:`~repro.runtime.
+  events.follow_trace` while the job is still writing.
+* **Metrics** — queue depth, in-flight, cache-hit ratio and p50/p99
+  latency through :class:`~repro.service.metrics.ServiceMetrics`,
+  mirrored into the observability recorder.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.runtime import (
+    ArtifactCache,
+    DEFAULT_CACHE_DIR,
+    EventLog,
+    ResilienceConfig,
+    RetryPolicy,
+    Runner,
+    SweepSpec,
+    register_executor,
+)
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobRecord,
+    JobRequest,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import JobQueue, QueueFullError  # noqa: F401  (re-export)
+from repro.utils.canonical import canonical
+
+
+def _run_verify_flow(network, config, rng):
+    """Executor behind ``verify`` jobs: run the flow, verify the design."""
+    from repro.core.autoncs import AutoNCS
+    from repro.verify.verifier import verify_flow
+
+    result = AutoNCS(config).run(network, rng=rng)
+    return verify_flow(result)
+
+
+register_executor("verify_flow", _run_verify_flow)
+
+
+def summarize_result(value: Any) -> Any:
+    """A JSON-compatible summary of a flow result (the wire form)."""
+    from repro.runtime.runner import SweepResult
+
+    if isinstance(value, SweepResult):
+        return canonical(
+            {
+                "kind": "sweep",
+                "executed": value.executed,
+                "cache_hits": value.cache_hits,
+                "failures": [failure.to_dict() for failure in value.failures],
+                "cells": value.cell_rows(),
+            }
+        )
+    if hasattr(value, "to_dict"):
+        return canonical(value.to_dict())
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one :class:`MappingService` instance."""
+
+    workers: int = 2
+    max_queue: int = 64
+    cache_dir: os.PathLike = DEFAULT_CACHE_DIR
+    max_cache_bytes: Optional[int] = None
+    spool_dir: Optional[os.PathLike] = None
+    retries: int = 2
+    timeout_seconds: Optional[float] = None
+    #: Completed records retained in memory (older ones still serve
+    #: through the artifact cache, just under a fresh job id).
+    keep_records: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.keep_records < 1:
+            raise ValueError(f"keep_records must be >= 1, got {self.keep_records}")
+
+    def resolved_spool_dir(self) -> Path:
+        if self.spool_dir is not None:
+            return Path(self.spool_dir)
+        return Path(self.cache_dir) / "service-events"
+
+    def resilience(self) -> ResilienceConfig:
+        return ResilienceConfig(
+            retry=RetryPolicy(max_attempts=max(1, self.retries)),
+            timeout_seconds=self.timeout_seconds,
+            fail_fast=False,
+        )
+
+
+class MappingService:
+    """The async job layer over the runtime engine (see module docs).
+
+    ``workers=0`` builds a service that admits and queues jobs but
+    never executes them — useful for tests exercising the queueing,
+    dedup and backpressure paths in isolation; call :meth:`start`
+    after raising ``workers`` via a new config, or drive jobs manually.
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.cache = ArtifactCache(
+            self.config.cache_dir, max_bytes=self.config.max_cache_bytes
+        )
+        self.metrics = ServiceMetrics()
+        self.queue = JobQueue(max_depth=self.config.max_queue)
+        self.spool_dir = self.config.resolved_spool_dir()
+        self._records: Dict[str, JobRecord] = {}
+        self._work: Dict[str, Any] = {}
+        self._active_by_key: Dict[str, str] = {}
+        self._done_by_key: Dict[str, str] = {}
+        self._retained: List[str] = []  # completion order, for trimming
+        self._in_flight = 0
+        self._seq = itertools.count(1)
+        self._lock = threading.Lock()
+        self._terminal = threading.Condition(self._lock)
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "MappingService":
+        """Spawn the worker pool (idempotent)."""
+        if self._threads:
+            return self
+        self._stop.clear()
+        for index in range(self.config.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"svc-worker-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop the workers (running jobs finish; queued jobs stay queued)."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        self._threads = []
+
+    def __enter__(self) -> "MappingService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission / dedup
+    # ------------------------------------------------------------------
+    def submit(self, request: JobRequest) -> Tuple[JobRecord, bool]:
+        """Admit one request; returns ``(record, coalesced)``.
+
+        ``coalesced`` is true when the submission was served by an
+        existing record (an identical job in flight, or one already
+        completed and retained) — the caller got a job id without
+        adding any work.  Raises :class:`QueueFullError` when the
+        queue is at capacity (shed, not buffered).
+        """
+        self.metrics.count("requests")
+        work, key = request.materialize()
+        with self._lock:
+            active_id = self._active_by_key.get(key)
+            if active_id is not None:
+                record = self._records[active_id]
+                record.submissions += 1
+                self.metrics.count("dedup_coalesced")
+                return record, True
+            done_id = self._done_by_key.get(key)
+            if done_id is not None:
+                record = self._records[done_id]
+                if record.state == DONE:
+                    record.submissions += 1
+                    self.metrics.count("cache_hits")
+                    return record, True
+                # A failed/cancelled record does not satisfy new
+                # submissions — fall through and try again.
+            job_id = f"j{next(self._seq):06d}-{key[:8]}"
+            record = JobRecord(
+                job_id=job_id,
+                key=key,
+                request=request,
+                events_path=str(self.spool_dir / f"{job_id}.jsonl"),
+            )
+            try:
+                self.queue.put(job_id, priority=request.priority)
+            except QueueFullError:
+                self.metrics.count("queue_rejections")
+                raise
+            self._records[job_id] = record
+            self._work[job_id] = work
+            self._active_by_key[key] = job_id
+            self.metrics.count("submitted")
+            self.metrics.gauge("queue_depth", self.queue.depth)
+        return record, False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._records.get(job_id)
+
+    def jobs(self) -> List[JobRecord]:
+        """Every retained record, oldest first."""
+        with self._lock:
+            return sorted(self._records.values(), key=lambda r: r.created)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Optional[JobRecord]:
+        """Block until the job reaches a terminal state (or timeout)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._terminal:
+            while True:
+                record = self._records.get(job_id)
+                if record is None or record.terminal:
+                    return record
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return record
+                self._terminal.wait(timeout=remaining)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a *queued* job; running/terminal jobs are untouched."""
+        with self._terminal:
+            record = self._records.get(job_id)
+            if record is None or record.state != QUEUED:
+                return False
+            self.queue.remove(job_id)
+            record.state = CANCELLED
+            record.finished = time.time()
+            self._active_by_key.pop(record.key, None)
+            self._work.pop(job_id, None)
+            self.metrics.count("cancelled")
+            self._terminal.notify_all()
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            in_flight = self._in_flight
+        depth = self.queue.depth
+        self.metrics.gauge("queue_depth", depth)
+        self.metrics.gauge("in_flight", in_flight)
+        return self.metrics.snapshot(
+            queue_depth=depth, in_flight=in_flight, cache=self.cache
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            job_id = self.queue.get(timeout=0.2)
+            if job_id is None:
+                continue
+            with self._lock:
+                record = self._records.get(job_id)
+                if record is None or record.state != QUEUED:
+                    continue  # cancelled while queued
+                record.state = RUNNING
+                record.started = time.time()
+                work = self._work.pop(job_id, None)
+                self._in_flight += 1
+                self.metrics.gauge("in_flight", self._in_flight)
+                self.metrics.gauge("queue_depth", self.queue.depth)
+            try:
+                self._execute(record, work)
+            finally:
+                with self._terminal:
+                    self._in_flight -= 1
+                    self._active_by_key.pop(record.key, None)
+                    if record.state == DONE:
+                        self._done_by_key[record.key] = record.job_id
+                    self._retained.append(record.job_id)
+                    self._trim_records_locked()
+                    self.metrics.gauge("in_flight", self._in_flight)
+                    self._terminal.notify_all()
+                latency = record.latency_seconds
+                if latency is not None:
+                    self.metrics.observe_latency(latency)
+
+    def _execute(self, record: JobRecord, work: Any) -> None:
+        self.spool_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            with EventLog(trace_path=record.events_path) as events:
+                runner = Runner(
+                    n_jobs=1,
+                    cache=self.cache,
+                    events=events,
+                    resilience=self.config.resilience(),
+                )
+                if isinstance(work, SweepSpec):
+                    self._finish_sweep(record, runner.run_sweep(work))
+                else:
+                    self._finish_single(record, runner.run([work]))
+        except Exception as exc:  # defensive: a worker must never die
+            self._mark_failed(record, f"{type(exc).__name__}: {exc}")
+
+    def _finish_single(self, record: JobRecord, results) -> None:
+        outcome = results[0]
+        record.attempts = outcome.attempts
+        if outcome.failure is not None:
+            self._mark_failed(
+                record,
+                f"{outcome.failure.failure}: {outcome.failure.message}",
+            )
+            return
+        record.result = outcome.value
+        record.cache_hit = outcome.cache_hit
+        record.state = DONE
+        record.finished = time.time()
+        self._note_completion(record)
+
+    def _finish_sweep(self, record: JobRecord, sweep) -> None:
+        record.result = sweep
+        record.cache_hit = sweep.executed == 0 and len(sweep.results) > 0
+        if sweep.failures:
+            self._mark_failed(
+                record,
+                f"{len(sweep.failures)}/{len(sweep.results)} sweep cell(s) failed",
+            )
+            return
+        record.state = DONE
+        record.finished = time.time()
+        self._note_completion(record)
+
+    def _note_completion(self, record: JobRecord) -> None:
+        self.metrics.count("completed")
+        if record.cache_hit:
+            self.metrics.count("cache_hits")
+        else:
+            self.metrics.count("jobs_executed")
+
+    def _mark_failed(self, record: JobRecord, message: str) -> None:
+        record.error = message
+        record.state = FAILED
+        record.finished = time.time()
+        self.metrics.count("failed")
+
+    def _trim_records_locked(self) -> None:
+        """Drop the oldest completed records beyond ``keep_records``."""
+        while len(self._retained) > self.config.keep_records:
+            job_id = self._retained.pop(0)
+            record = self._records.pop(job_id, None)
+            if record is not None:
+                if self._done_by_key.get(record.key) == job_id:
+                    self._done_by_key.pop(record.key, None)
+
+    # ------------------------------------------------------------------
+    def result_payload(self, record: JobRecord) -> Dict[str, Any]:
+        """The ``GET /jobs/<id>/result`` body for a finished job."""
+        return {
+            "job_id": record.job_id,
+            "state": record.state,
+            "cache_hit": record.cache_hit,
+            "latency_seconds": record.latency_seconds,
+            "result": summarize_result(record.result),
+        }

@@ -1,0 +1,267 @@
+"""Service job model: requests, dedup keys, and job records.
+
+A :class:`JobRequest` is the wire form of one unit of service work —
+``map``, ``compare``, ``verify`` or ``sweep`` — described entirely by
+content (network spec, config knobs, seed), never by references to
+driver-process objects, so identical requests from different clients
+are *identical* in the only sense that matters for deduplication.
+
+The dedup key of a request is a stable hash over the same material the
+runtime :mod:`~repro.runtime.cache` keys artifacts on — the generated
+network's :meth:`~repro.networks.connection_matrix.ConnectionMatrix.
+digest`, the :meth:`~repro.core.config.AutoNcsConfig.cache_key`, the
+seed and the job kind — so two in-flight submissions of the same work
+coalesce onto one :class:`JobRecord`, and a completed one is served
+straight from the :class:`~repro.runtime.cache.ArtifactCache`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import AutoNcsConfig, fast_config
+from repro.networks.generators import random_sparse_network
+from repro.runtime.jobs import Job, SweepSpec
+from repro.utils.canonical import stable_hash
+
+#: Request kinds the service accepts.
+JOB_KINDS = ("map", "compare", "verify", "sweep")
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can no longer leave.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+class BadRequestError(ValueError):
+    """A submission payload the service cannot interpret (HTTP 400)."""
+
+
+def _require_number(payload: Dict[str, Any], key: str, default, lo, hi):
+    value = payload.get(key, default)
+    try:
+        value = type(default)(value)
+    except (TypeError, ValueError):
+        raise BadRequestError(f"{key!r} must be a number, got {value!r}") from None
+    if not lo <= value <= hi:
+        raise BadRequestError(f"{key!r} must lie in [{lo}, {hi}], got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One content-described service job.
+
+    ``map``/``compare``/``verify`` jobs generate a random sparse network
+    from ``(neurons, density, network_seed)`` and run the corresponding
+    flow on it with ``seed``; ``sweep`` jobs run a
+    :class:`~repro.runtime.jobs.SweepSpec` grid of ``sweep_kind`` flows.
+    ``fast`` selects the reduced-effort config; ``router`` overrides the
+    routing algorithm.  ``priority`` orders the queue (higher first).
+    """
+
+    kind: str
+    neurons: int = 64
+    density: float = 0.08
+    network_seed: int = 1
+    seed: int = 42
+    fast: bool = True
+    router: Optional[str] = None
+    priority: int = 0
+    sizes: Tuple[int, ...] = ()
+    densities: Tuple[float, ...] = ()
+    sweep_kind: str = "compare"
+
+    @classmethod
+    def from_dict(cls, payload: Any) -> "JobRequest":
+        """Validate and build a request from a decoded JSON payload."""
+        if not isinstance(payload, dict):
+            raise BadRequestError(f"request body must be an object, got {type(payload).__name__}")
+        kind = payload.get("kind")
+        if kind not in JOB_KINDS:
+            raise BadRequestError(f"'kind' must be one of {list(JOB_KINDS)}, got {kind!r}")
+        router = payload.get("router")
+        if router not in (None, "ordered", "negotiated"):
+            raise BadRequestError(f"'router' must be 'ordered' or 'negotiated', got {router!r}")
+        common = dict(
+            kind=kind,
+            seed=_require_number(payload, "seed", 42, 0, 2**31 - 1),
+            fast=bool(payload.get("fast", True)),
+            router=router,
+            priority=_require_number(payload, "priority", 0, -100, 100),
+        )
+        if kind == "sweep":
+            sizes = payload.get("sizes", [40, 56])
+            densities = payload.get("densities", [0.08])
+            sweep_kind = payload.get("sweep_kind", "compare")
+            if sweep_kind not in ("compare", "autoncs", "fullcro"):
+                raise BadRequestError(
+                    f"'sweep_kind' must be compare/autoncs/fullcro, got {sweep_kind!r}"
+                )
+            try:
+                sizes = tuple(int(s) for s in sizes)
+                densities = tuple(float(d) for d in densities)
+            except (TypeError, ValueError):
+                raise BadRequestError("'sizes'/'densities' must be numeric lists") from None
+            if not sizes or not densities:
+                raise BadRequestError("'sizes' and 'densities' must be non-empty")
+            if min(sizes) < 2:
+                raise BadRequestError(f"'sizes' must be >= 2, got {list(sizes)}")
+            if not all(0.0 < d <= 1.0 for d in densities):
+                raise BadRequestError(
+                    f"'densities' must lie in (0, 1], got {list(densities)}"
+                )
+            if len(sizes) * len(densities) > 256:
+                raise BadRequestError("sweep grid too large (max 256 cells)")
+            return cls(sizes=sizes, densities=densities, sweep_kind=sweep_kind, **common)
+        return cls(
+            neurons=_require_number(payload, "neurons", 64, 2, 100_000),
+            density=_require_number(payload, "density", 0.08, 1e-6, 1.0),
+            network_seed=_require_number(payload, "network_seed", 1, 0, 2**31 - 1),
+            **common,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "kind": self.kind,
+            "seed": self.seed,
+            "fast": self.fast,
+            "router": self.router,
+            "priority": self.priority,
+        }
+        if self.kind == "sweep":
+            data.update(
+                sizes=list(self.sizes),
+                densities=list(self.densities),
+                sweep_kind=self.sweep_kind,
+            )
+        else:
+            data.update(
+                neurons=self.neurons,
+                density=self.density,
+                network_seed=self.network_seed,
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    def config(self) -> AutoNcsConfig:
+        """The flow configuration this request asks for."""
+        config = fast_config() if self.fast else AutoNcsConfig()
+        if self.router:
+            import dataclasses
+
+            from repro.physical.routing.router import RoutingConfig
+
+            routing = config.routing if config.routing is not None else RoutingConfig()
+            config = dataclasses.replace(
+                config, routing=dataclasses.replace(routing, algorithm=self.router)
+            )
+        return config
+
+    def materialize(self):
+        """``(work, dedup_key)`` — the runnable unit plus its identity.
+
+        ``work`` is a runtime :class:`~repro.runtime.jobs.Job` for the
+        single-flow kinds and a :class:`~repro.runtime.jobs.SweepSpec`
+        for sweeps.  The dedup key hashes exactly the content the
+        artifact cache would key the result on.
+        """
+        config = self.config()
+        if self.kind == "sweep":
+            spec = SweepSpec(
+                sizes=self.sizes,
+                densities=self.densities,
+                seed=self.seed,
+                kind=self.sweep_kind,
+                config=config,
+                name="service-sweep",
+            )
+            return spec, stable_hash({"kind": "sweep", "sweep": spec.sweep_key()})
+        network = random_sparse_network(
+            self.neurons,
+            self.density,
+            rng=np.random.default_rng(self.network_seed),
+            name=f"svc-n{self.neurons}-d{self.density:g}-s{self.network_seed}",
+        )
+        runtime_kind = {"map": "autoncs", "compare": "compare", "verify": "verify_flow"}[
+            self.kind
+        ]
+        key = {
+            "network": network.digest(),
+            "config": config.cache_key(),
+            "seed": self.seed,
+            "service_kind": self.kind,
+        }
+        job = Job(
+            kind=runtime_kind,
+            label=f"{self.kind} {network.name}",
+            payload={"network": network, "config": config},
+            seed=self.seed,
+            key=key,
+        )
+        return job, stable_hash(key)
+
+
+@dataclass
+class JobRecord:
+    """The service-side lifecycle record of one deduplicated job.
+
+    One record may serve many submissions (``submissions`` counts the
+    coalesced ones).  ``result`` holds the in-memory flow result while
+    the record is retained; the artifact cache holds it durably.
+    """
+
+    job_id: str
+    key: str
+    request: JobRequest
+    state: str = QUEUED
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    submissions: int = 1
+    cache_hit: bool = False
+    attempts: int = 0
+    error: Optional[str] = None
+    result: Any = None
+    events_path: Optional[str] = None
+    #: Guards state transitions on this record (workers + HTTP threads).
+    _lock: Lock = field(default_factory=Lock, repr=False)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    @property
+    def latency_seconds(self) -> Optional[float]:
+        """Submission-to-completion wall time (``None`` until terminal)."""
+        if self.finished is None:
+            return None
+        return self.finished - self.created
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible status view (the ``GET /jobs/<id>`` body)."""
+        return {
+            "job_id": self.job_id,
+            "key": self.key,
+            "kind": self.request.kind,
+            "state": self.state,
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "latency_seconds": self.latency_seconds,
+            "submissions": self.submissions,
+            "cache_hit": self.cache_hit,
+            "attempts": self.attempts,
+            "error": self.error,
+            "request": self.request.to_dict(),
+        }

@@ -1,0 +1,79 @@
+"""Bounded, priority-ordered job queue with backpressure.
+
+The service admits at most ``max_depth`` queued jobs; a submission that
+would exceed the bound raises :class:`QueueFullError`, which the HTTP
+layer turns into ``429 Too Many Requests`` with a ``Retry-After`` hint
+— load is *shed at the door* instead of accumulating unbounded memory
+and unbounded latency.  Within the bound, higher ``priority`` dequeues
+first; ties dequeue in submission order (a stable FIFO per priority).
+
+Cancellation is lazy: :meth:`JobQueue.remove` marks the entry and
+:meth:`JobQueue.get` discards marked entries on the way out, so cancel
+is O(1) and never reheaps.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from typing import Optional
+
+
+class QueueFullError(Exception):
+    """The queue is at capacity; retry after ``retry_after_seconds``."""
+
+    def __init__(self, depth: int, retry_after_seconds: float = 1.0) -> None:
+        super().__init__(f"job queue is full ({depth} queued)")
+        self.depth = depth
+        self.retry_after_seconds = retry_after_seconds
+
+
+class JobQueue:
+    """A thread-safe bounded max-priority queue of job ids."""
+
+    def __init__(self, max_depth: int = 64) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = int(max_depth)
+        self._heap: list = []  # (-priority, seq, job_id)
+        self._cancelled: set = set()
+        self._seq = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+
+    def put(self, job_id: str, priority: int = 0) -> None:
+        """Enqueue; raises :class:`QueueFullError` at capacity."""
+        with self._lock:
+            if self.depth_locked() >= self.max_depth:
+                raise QueueFullError(self.depth_locked())
+            heapq.heappush(self._heap, (-int(priority), next(self._seq), job_id))
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[str]:
+        """Dequeue the highest-priority job id, or ``None`` on timeout."""
+        with self._not_empty:
+            while True:
+                while self._heap:
+                    _neg, _seq, job_id = heapq.heappop(self._heap)
+                    if job_id in self._cancelled:
+                        self._cancelled.discard(job_id)
+                        continue
+                    return job_id
+                if not self._not_empty.wait(timeout=timeout):
+                    return None
+
+    def remove(self, job_id: str) -> None:
+        """Mark a queued job id so :meth:`get` will skip it."""
+        with self._lock:
+            if any(entry[2] == job_id for entry in self._heap):
+                self._cancelled.add(job_id)
+
+    def depth_locked(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+    @property
+    def depth(self) -> int:
+        """Live queued entries (excluding lazily cancelled ones)."""
+        with self._lock:
+            return self.depth_locked()

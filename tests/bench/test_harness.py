@@ -14,9 +14,11 @@ from repro.bench import (
     BASELINE_FILES,
     DEFAULT_THRESHOLD_PCT,
     SCHEMA_VERSION,
+    SUITES,
     compare_to_baseline,
     load_suite_json,
     main,
+    metric_gate,
     run_suite,
     suite_result_from_dict,
     write_suite_json,
@@ -74,6 +76,43 @@ class TestSuiteRun:
     def test_unknown_suite_rejected(self):
         with pytest.raises(ValueError, match="unknown bench suite"):
             run_suite("placement")
+
+    def test_every_suite_has_a_baseline_file(self):
+        assert set(BASELINE_FILES) == set(SUITES)
+        assert BASELINE_FILES["service"] == "BENCH_service.json"
+
+
+class TestMetricGate:
+    def test_throughput_metrics_never_gate(self):
+        assert metric_gate("throughput_rps") == "never"
+        assert metric_gate("requests_per_second") == "never"
+
+    def test_wall_clock_metrics_gate_only_on_time_threshold(self):
+        assert metric_gate("p50_latency_seconds") == "time"
+        assert metric_gate("p99_latency_seconds") == "time"
+
+    def test_deterministic_metrics_always_gate(self):
+        assert metric_gate("requests") == "always"
+        assert metric_gate("miss_ratio") == "always"
+        assert metric_gate("wirelength_um") == "always"
+
+    def test_gate_policy_applied_by_comparison(self, routing_suite):
+        baseline = copy.deepcopy(routing_suite)
+        record = baseline.benchmarks[0]
+        candidate = copy.deepcopy(routing_suite)
+        # A throughput drop and a latency spike, both machine noise.
+        record.qor["throughput_rps"] = 1000.0
+        candidate.benchmarks[0].qor["throughput_rps"] = 10.0
+        record.qor["p99_latency_seconds"] = 0.001
+        candidate.benchmarks[0].qor["p99_latency_seconds"] = 1.0
+        assert compare_to_baseline(candidate, baseline) == []
+        # The latency spike does gate once a time threshold is given;
+        # the throughput drop still never does.
+        failures = compare_to_baseline(
+            candidate, baseline, time_threshold_pct=50.0
+        )
+        assert failures
+        assert all("latency" in f for f in failures)
 
 
 class TestSchema:

@@ -139,3 +139,77 @@ class TestArtifactCache:
                   seed="not-a-seed", key={"x": 1})
         with pytest.raises(TypeError):
             job_cache_key(job, "1.0")
+
+
+class TestEviction:
+    @staticmethod
+    def _fill(cache, count, payload_bytes=2000):
+        import time
+
+        keys = []
+        for seed in range(count):
+            key = cache.key_for(make_job(seed=seed))
+            cache.store(key, b"x" * payload_bytes, meta={"seed": seed})
+            keys.append(key)
+            time.sleep(0.002)  # strictly ordered mtimes for the LRU sort
+        return keys
+
+    def test_rejects_nonpositive_bound(self, tmp_path):
+        with pytest.raises(ValueError):
+            ArtifactCache(tmp_path, version="1.0", max_bytes=0)
+
+    def test_unbounded_cache_never_evicts(self, tmp_path):
+        cache = ArtifactCache(tmp_path, version="1.0")
+        self._fill(cache, 5)
+        assert cache.evict() == 0
+        assert len(cache) == 5 and cache.evictions == 0
+
+    def test_store_evicts_oldest_beyond_bound(self, tmp_path):
+        import os
+
+        cache = ArtifactCache(tmp_path, version="1.0", max_bytes=1)
+        keys = self._fill(cache, 4)
+        # max_bytes=1 can hold nothing, but eviction always spares the
+        # most recent entry — the one the store that triggered it wrote.
+        assert len(cache) == 1
+        assert cache.evictions == 3
+        assert cache.contains(keys[-1])
+        # Both halves of each evicted pkl+json pair are gone (the
+        # advisory .lock siblings legitimately remain).
+        assert sum(1 for _ in cache.objects_dir.rglob("*.pkl")) == 1
+        assert sum(1 for _ in cache.objects_dir.rglob("*.json")) == 1
+        assert os.path.exists(cache.path_for(keys[-1]))
+
+    def test_lookup_refreshes_lru_order(self, tmp_path):
+        import os
+
+        cache = ArtifactCache(tmp_path, version="1.0", max_bytes=None)
+        keys = self._fill(cache, 3)
+        # Make the mtimes strictly ordered, oldest first.
+        for offset, key in enumerate(keys):
+            stamp = 1_000_000 + offset
+            for member in (cache.path_for(key),
+                           cache.path_for(key).with_suffix(".json")):
+                os.utime(member, (stamp, stamp))
+        bounded = ArtifactCache(tmp_path, version="1.0", max_bytes=1)
+        hit, _ = bounded.lookup(keys[0])  # refresh the oldest entry
+        assert hit
+        assert bounded.evict(max_bytes=bounded.total_bytes() - 1) >= 1
+        assert bounded.contains(keys[0])      # refreshed: survived
+        assert not bounded.contains(keys[1])  # now the oldest: evicted
+
+    def test_total_bytes_counts_pickle_and_sidecar(self, tmp_path):
+        cache = ArtifactCache(tmp_path, version="1.0")
+        key = cache.key_for(make_job())
+        path = cache.store(key, b"x" * 100, meta={"m": 1})
+        expected = (path.stat().st_size
+                    + path.with_suffix(".json").stat().st_size)
+        assert cache.total_bytes() == expected
+
+    def test_evicted_entry_is_a_clean_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path, version="1.0", max_bytes=1)
+        keys = self._fill(cache, 2)
+        hit, value = cache.lookup(keys[0])
+        assert not hit and value is None
+        hit, _ = cache.lookup(keys[-1])
+        assert hit

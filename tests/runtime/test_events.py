@@ -5,8 +5,11 @@ from __future__ import annotations
 
 import io
 import json
+import threading
 
-from repro.runtime.events import EventLog, ProgressPrinter
+import pytest
+
+from repro.runtime.events import EventLog, ProgressPrinter, follow_trace, tail_trace
 
 
 def test_emit_returns_and_records_full_record():
@@ -88,6 +91,92 @@ def test_progress_printer_formats_sweep_lifecycle():
     assert lines[2].startswith("[2/3] cached n=40 d=0.05")
     assert lines[3] == "finished: 2 executed, 1 cache hit(s), 12.50s wall"
     assert len(lines) == 4
+
+
+class TestTailTrace:
+    def test_missing_file_reads_empty(self, tmp_path):
+        records, offset = tail_trace(tmp_path / "absent.jsonl")
+        assert records == [] and offset == 0
+
+    def test_offset_resumes_where_the_last_call_stopped(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        with EventLog(trace_path=trace) as log:
+            log.emit("a")
+            records, offset = log.tail()
+            assert [r["event"] for r in records] == ["a"]
+            log.emit("b")
+            log.emit("c")
+            records, offset = log.tail(offset)
+            assert [r["event"] for r in records] == ["b", "c"]
+            assert log.tail(offset) == ([], offset)  # drained
+
+    def test_partial_last_line_is_left_for_the_next_poll(self, tmp_path):
+        # A writer flushed mid-record: the torn tail must not be
+        # consumed (and must not raise) — the next poll, after the
+        # writer finishes the line, reads it whole.
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text('{"event": "done"}\n{"event": "par')
+        records, offset = tail_trace(trace)
+        assert [r["event"] for r in records] == ["done"]
+        with open(trace, "a") as handle:
+            handle.write('tial"}\n')
+        records, offset = tail_trace(trace, offset)
+        assert [r["event"] for r in records] == ["partial"]
+
+    def test_complete_garbage_line_is_skipped(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text('{"event": "a"}\nnot json\n[1, 2]\n{"event": "b"}\n')
+        records, _offset = tail_trace(trace)
+        assert [r["event"] for r in records] == ["a", "b"]
+
+    def test_tail_requires_a_trace_path(self):
+        with pytest.raises(ValueError):
+            EventLog().tail()
+
+    def test_concurrent_writer_and_reader_lose_nothing(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        total = 200
+
+        def write():
+            with EventLog(trace_path=trace) as log:
+                for index in range(total):
+                    log.emit("tick", index=index)
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        seen, offset = [], 0
+        while len(seen) < total:
+            records, offset = tail_trace(trace, offset)
+            seen.extend(records)
+            if not records and not writer.is_alive():
+                records, offset = tail_trace(trace, offset)
+                seen.extend(records)
+                break
+        writer.join()
+        assert [r["index"] for r in seen] == list(range(total))
+
+
+class TestFollowTrace:
+    def test_follows_until_stop_and_drains_the_tail(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        log = EventLog(trace_path=trace)
+        done = threading.Event()
+
+        def write():
+            for index in range(25):
+                log.emit("tick", index=index)
+            log.close()
+            done.set()
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        events = list(
+            follow_trace(trace, poll_seconds=0.001, stop=done.is_set)
+        )
+        writer.join()
+        # The final drain guarantees records emitted just before the
+        # stop flag are delivered, in order, exactly once.
+        assert [r["index"] for r in events] == list(range(25))
 
 
 def test_progress_printer_counts_reset_per_sweep():

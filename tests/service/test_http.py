@@ -1,0 +1,148 @@
+"""The HTTP transport and client against a live in-process server."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.service import ServiceConfig, ServiceServer
+from repro.service.client import ServiceClient, ServiceError
+
+MAP_REQUEST = {"kind": "map", "neurons": 24, "density": 0.2}
+
+
+@pytest.fixture()
+def server(tmp_path):
+    config = ServiceConfig(workers=2, cache_dir=tmp_path / "cache")
+    with ServiceServer(config, port=0) as live:
+        yield live
+
+
+@pytest.fixture()
+def client(server):
+    return ServiceClient(server.url)
+
+
+@pytest.fixture()
+def parked_server(tmp_path):
+    """A server whose jobs never drain (zero workers): queue inspection."""
+    config = ServiceConfig(workers=0, max_queue=2, cache_dir=tmp_path / "cache")
+    with ServiceServer(config, port=0) as live:
+        yield live
+
+
+class TestEndpoints:
+    def test_healthz(self, client):
+        assert client.healthy()
+
+    def test_submit_wait_returns_the_result(self, client):
+        done = client.submit(MAP_REQUEST, wait=True)
+        assert done["state"] == "done"
+        assert done["coalesced"] is False
+        assert done["result"]["neurons"] == 24
+        assert done["latency_seconds"] >= 0
+
+    def test_identical_submission_coalesces_over_http(self, client):
+        first = client.submit(MAP_REQUEST, wait=True)
+        second = client.submit(dict(MAP_REQUEST), wait=True)
+        assert second["coalesced"] is True
+        assert second["job_id"] == first["job_id"]
+
+    def test_status_and_result_roundtrip(self, client):
+        done = client.submit(MAP_REQUEST, wait=True)
+        status = client.status(done["job_id"])
+        assert status["state"] == "done"
+        assert status["kind"] == "map"
+        result = client.result(done["job_id"])
+        assert result["result"]["neurons"] == 24
+
+    def test_events_stream_covers_the_job(self, client):
+        done = client.submit(MAP_REQUEST, wait=True)
+        events = list(client.events(done["job_id"]))
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "sweep_started"
+        assert kinds[-1] == "sweep_finished"
+
+    def test_jobs_listing(self, client):
+        client.submit(MAP_REQUEST, wait=True)
+        jobs = client.jobs()
+        assert len(jobs) == 1 and jobs[0]["kind"] == "map"
+
+    def test_stats_reports_the_serving_mix(self, client):
+        client.submit(MAP_REQUEST, wait=True)
+        client.submit(MAP_REQUEST, wait=True)
+        stats = client.stats()
+        assert stats["counters"]["requests"] == 2
+        assert stats["cache_hit_ratio"] == pytest.approx(0.5)
+        assert stats["cache"]["entries"] == 1
+
+
+class TestErrors:
+    def test_bad_request_is_400(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({"kind": "route"})
+        assert excinfo.value.status == 400
+        assert "'kind'" in excinfo.value.message
+
+    def test_invalid_json_is_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/jobs", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.status("missing")
+        assert excinfo.value.status == 404
+
+    def test_unknown_route_is_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/nope")
+        assert excinfo.value.status == 404
+
+    def test_queue_full_is_429_with_retry_after(self, parked_server):
+        client = ServiceClient(parked_server.url)
+        client.submit({**MAP_REQUEST, "seed": 1})
+        client.submit({**MAP_REQUEST, "seed": 2})
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit({**MAP_REQUEST, "seed": 3})
+        error = excinfo.value
+        assert error.status == 429 and error.queue_full
+        assert error.retry_after_seconds and error.retry_after_seconds > 0
+
+    def test_result_before_terminal_is_409(self, parked_server):
+        client = ServiceClient(parked_server.url)
+        queued = client.submit(MAP_REQUEST)
+        assert queued["job"]["state"] == "queued"
+        with pytest.raises(ServiceError) as excinfo:
+            client.result(queued["job"]["job_id"])
+        assert excinfo.value.status == 409
+
+    def test_cancel_over_http(self, parked_server):
+        client = ServiceClient(parked_server.url)
+        queued = client.submit(MAP_REQUEST)
+        job_id = queued["job"]["job_id"]
+        cancelled = client.cancel(job_id)
+        assert cancelled["cancelled"] is True
+        assert cancelled["job"]["state"] == "cancelled"
+        # Cancelling again is a no-op, reported as such.
+        assert client.cancel(job_id)["cancelled"] is False
+
+
+class TestCliServe:
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve", "--port", "0", "--workers", "1"])
+        assert args.func.__name__ == "_cmd_serve"
+        assert args.max_queue == 64
+        assert args.cache_dir == ".repro-cache"
+
+    def test_responses_are_json(self, server):
+        with urllib.request.urlopen(server.url + "/healthz") as response:
+            assert response.headers["Content-Type"] == "application/json"
+            assert json.loads(response.read()) == {"ok": True}

@@ -1,0 +1,124 @@
+"""JobRequest validation, dedup keys and the job-record lifecycle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.jobs import Job, SweepSpec
+from repro.service.jobs import BadRequestError, JobRecord, JobRequest
+
+
+class TestFromDict:
+    def test_minimal_map_request(self):
+        request = JobRequest.from_dict({"kind": "map"})
+        assert request.kind == "map"
+        assert request.neurons == 64
+        assert request.fast is True
+
+    def test_rejects_non_object_payload(self):
+        with pytest.raises(BadRequestError):
+            JobRequest.from_dict([1, 2, 3])
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(BadRequestError, match="'kind'"):
+            JobRequest.from_dict({"kind": "route"})
+
+    def test_rejects_non_numeric_fields(self):
+        with pytest.raises(BadRequestError, match="'neurons'"):
+            JobRequest.from_dict({"kind": "map", "neurons": "many"})
+
+    def test_rejects_out_of_range_density(self):
+        with pytest.raises(BadRequestError, match="'density'"):
+            JobRequest.from_dict({"kind": "map", "density": 2.0})
+
+    def test_rejects_unknown_router(self):
+        with pytest.raises(BadRequestError, match="'router'"):
+            JobRequest.from_dict({"kind": "map", "router": "quantum"})
+
+    def test_rejects_oversized_sweep_grid(self):
+        with pytest.raises(BadRequestError, match="grid too large"):
+            JobRequest.from_dict(
+                {"kind": "sweep", "sizes": list(range(2, 60)),
+                 "densities": [0.1] * 10}
+            )
+
+    def test_sweep_defaults(self):
+        request = JobRequest.from_dict({"kind": "sweep"})
+        assert request.sweep_kind == "compare"
+        assert request.sizes and request.densities
+
+    def test_to_dict_round_trips(self):
+        request = JobRequest.from_dict(
+            {"kind": "verify", "neurons": 32, "density": 0.1, "seed": 7}
+        )
+        assert JobRequest.from_dict(request.to_dict()) == request
+
+
+class TestMaterialize:
+    def test_single_kind_materializes_a_runtime_job(self):
+        work, key = JobRequest.from_dict(
+            {"kind": "map", "neurons": 24, "density": 0.2}
+        ).materialize()
+        assert isinstance(work, Job)
+        assert work.kind == "autoncs"
+        assert work.cacheable
+
+    def test_verify_maps_to_the_verify_flow_executor(self):
+        work, _key = JobRequest.from_dict(
+            {"kind": "verify", "neurons": 24, "density": 0.2}
+        ).materialize()
+        assert work.kind == "verify_flow"
+
+    def test_sweep_materializes_a_sweep_spec(self):
+        work, key = JobRequest.from_dict(
+            {"kind": "sweep", "sizes": [16, 20], "densities": [0.2]}
+        ).materialize()
+        assert isinstance(work, SweepSpec)
+        assert len(work) == 2 and key
+
+    def test_identical_requests_share_a_key(self):
+        payload = {"kind": "map", "neurons": 24, "density": 0.2, "seed": 3}
+        _work_a, key_a = JobRequest.from_dict(payload).materialize()
+        _work_b, key_b = JobRequest.from_dict(dict(payload)).materialize()
+        assert key_a == key_b
+
+    def test_key_separates_every_identity_component(self):
+        base = {"kind": "map", "neurons": 24, "density": 0.2, "seed": 3}
+        _w, key = JobRequest.from_dict(base).materialize()
+        for variant in (
+            {**base, "kind": "verify"},
+            {**base, "seed": 4},
+            {**base, "neurons": 26},
+            {**base, "network_seed": 9},
+            {**base, "fast": False},
+            {**base, "router": "negotiated"},
+        ):
+            _w, other = JobRequest.from_dict(variant).materialize()
+            assert other != key, f"variant {variant} collided"
+
+    def test_priority_does_not_change_the_key(self):
+        base = {"kind": "map", "neurons": 24, "density": 0.2}
+        _w, key_a = JobRequest.from_dict(base).materialize()
+        _w, key_b = JobRequest.from_dict({**base, "priority": 9}).materialize()
+        assert key_a == key_b
+
+
+class TestJobRecord:
+    def test_lifecycle_flags(self):
+        record = JobRecord(job_id="j1", key="k", request=JobRequest(kind="map"))
+        assert record.state == "queued"
+        assert not record.terminal
+        assert record.latency_seconds is None
+        record.state = "done"
+        record.finished = record.created + 1.5
+        assert record.terminal
+        assert record.latency_seconds == pytest.approx(1.5)
+
+    def test_to_dict_is_json_compatible(self):
+        import json
+
+        record = JobRecord(job_id="j1", key="k", request=JobRequest(kind="map"))
+        payload = json.loads(json.dumps(record.to_dict()))
+        assert payload["job_id"] == "j1"
+        assert payload["kind"] == "map"
+        assert payload["request"]["neurons"] == 64
