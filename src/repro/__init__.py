@@ -21,13 +21,13 @@ covers the whole stack:
 
 Public API
 ----------
-The stable facade (see :mod:`repro.api`) is three keyword-only
-functions plus the observability surface:
+The stable facade (see :mod:`repro.api`) is four keyword-only
+functions, one options dataclass, plus the observability surface:
 
 >>> import repro
 >>> from repro.networks import random_sparse_network
 >>> network = random_sparse_network(100, 0.05, rng=42)
->>> report = repro.compare(network, seed=42)
+>>> report = repro.compare(network, options=repro.FlowOptions(seed=42))
 >>> report.wirelength_reduction  # doctest: +SKIP
 41.3
 
@@ -35,7 +35,7 @@ Tracing a run:
 
 >>> rec = repro.Recorder()
 >>> with repro.recording(rec):
-...     result = repro.map_network(network, seed=42)
+...     result = repro.map_network(network, options=repro.FlowOptions(seed=42))
 >>> repro.write_chrome_trace(rec.tracer.spans, "trace.jsonl")  # doctest: +SKIP
 """
 
@@ -46,7 +46,7 @@ Tracing a run:
 # while `import repro.verify` / `from repro.verify import ...` keep
 # working through sys.modules.
 import repro.verify  # noqa: F401  (eager submodule load, see above)
-from repro.api import compare, map_network, verify
+from repro.api import FlowOptions, compare, load_network, map_network, verify
 from repro.core import AutoNCS, AutoNcsConfig, AutoNcsResult, ComparisonReport
 from repro.core.config import fast_config
 from repro.observability import (
@@ -59,19 +59,21 @@ from repro.observability import (
     write_metrics_text,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AutoNCS",
     "AutoNcsConfig",
     "AutoNcsResult",
     "ComparisonReport",
+    "FlowOptions",
     "MetricsSnapshot",
     "Recorder",
     "__version__",
     "compare",
     "fast_config",
     "get_recorder",
+    "load_network",
     "map_network",
     "recording",
     "set_recorder",

@@ -1,18 +1,26 @@
 """The stable public API of :mod:`repro`.
 
-Three functions cover the common uses of the framework, re-exported at
+Four functions cover the common uses of the framework, re-exported at
 the package top level::
 
     import repro
+    from repro import FlowOptions
 
-    result = repro.map_network(network, seed=42)        # AutoNcsResult
-    report = repro.compare(network, seed=42)            # ComparisonReport
-    check  = repro.verify(result, seed=42)              # VerificationReport
+    network = repro.load_network("net.npz")
+    result = repro.map_network(network, options=FlowOptions(seed=42))
+    report = repro.compare(network, options=FlowOptions(seed=42))
+    check  = repro.verify(result)
 
-All configuration is keyword-only, so calls read unambiguously and the
-signatures can grow without breaking positional callers.  Return types
-are the documented result dataclasses (:class:`~repro.core.autoncs.
-AutoNcsResult`, :class:`~repro.core.report.ComparisonReport`,
+All flow settings live in one documented :class:`FlowOptions` dataclass,
+so every entry point shares a single configuration surface and the
+runtime cache can key on ``options.cache_key()`` together with
+``network.digest()``.  The pre-1.7 per-call keyword arguments
+(``seed=``, ``config=``, ``verify=``, …) are still accepted through
+deprecation shims, so existing callers keep working unchanged.
+
+Return types are the documented result dataclasses
+(:class:`~repro.core.autoncs.AutoNcsResult`,
+:class:`~repro.core.report.ComparisonReport`,
 :class:`~repro.verify.report.VerificationReport`) — each carries
 ``.to_dict()`` for machine consumption and ``.format_table()`` for
 terminal output.
@@ -24,7 +32,7 @@ to collect a trace and metrics::
 
     rec = Recorder()
     with recording(rec):
-        repro.compare(network, seed=42)
+        repro.compare(network, options=FlowOptions(seed=42))
     write_chrome_trace(rec.tracer.spans, "trace.jsonl")
 
 Deep imports (``from repro.core import AutoNCS``) remain supported for
@@ -34,7 +42,9 @@ snapshot test (``tests/test_public_api.py``).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+import os
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple, Union
 
 from repro.core.autoncs import AutoNCS, AutoNcsResult
 from repro.core.config import AutoNcsConfig
@@ -42,18 +52,173 @@ from repro.core.report import ComparisonReport
 from repro.mapping.netlist import MappingResult
 from repro.networks.connection_matrix import ConnectionMatrix
 from repro.physical.layout import PhysicalDesign
+from repro.utils.deprecation import warn_deprecated
 from repro.utils.rng import RngLike
 from repro.verify.report import VerificationReport
 
-__all__ = ["compare", "map_network", "verify"]
+__all__ = ["FlowOptions", "compare", "load_network", "map_network", "verify"]
+
+
+@dataclass
+class FlowOptions:
+    """Every per-call knob of the public API in one place.
+
+    One options object serves all entry points; each function reads the
+    fields relevant to it and ignores the rest, so a single
+    ``FlowOptions`` can drive ``map_network`` → ``verify`` → ``compare``
+    on the same network.
+
+    Attributes
+    ----------
+    config:
+        Flow configuration; ``None`` means the paper defaults
+        (:class:`~repro.core.config.AutoNcsConfig`; see also
+        :func:`~repro.core.config.fast_config`).  Clustering scale-up,
+        routing algorithm, technology — everything pipeline-level —
+        lives here.
+    seed:
+        RNG seed material (int, :class:`numpy.random.Generator` or
+        ``None`` for nondeterministic).
+    verify:
+        ``map_network`` only: run the independent end-to-end verifier on
+        the finished design and raise
+        :class:`~repro.verify.VerificationError` on violation.
+    baseline:
+        ``verify`` only: when the target is a network, run the FullCro
+        baseline flow instead of AutoNCS before checking.
+    checks:
+        ``verify`` only: subset of check names to run (``"coverage"``,
+        ``"hardware"``, ``"physical"``, ``"functional"``); ``None`` runs
+        all.  Large-network flows typically restrict to
+        ``("coverage", "hardware")`` — the functional check simulates a
+        dense ``n × n`` weight matrix.
+    hopfield:
+        ``verify`` only: optional :class:`~repro.networks.hopfield.
+        HopfieldNetwork` enabling the Hopfield-recall functional check.
+    n_jobs:
+        ``compare`` only: ``> 1`` runs the two flows on worker processes
+        through the runtime engine.  Results are identical for any
+        value (child seeds are replayed).
+    label:
+        ``compare`` only: report label (defaults to the network name).
+    resilience:
+        ``compare`` only: optional :class:`~repro.runtime.resilience.
+        ResilienceConfig` adding per-flow retries and timeouts.
+    """
+
+    config: Optional[AutoNcsConfig] = None
+    seed: RngLike = None
+    verify: bool = False
+    baseline: bool = False
+    checks: Optional[Tuple[str, ...]] = None
+    hopfield: Optional[object] = None
+    n_jobs: int = 1
+    label: Optional[str] = None
+    resilience: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if self.n_jobs < 1:
+            raise ValueError(f"n_jobs must be >= 1, got {self.n_jobs}")
+        if self.checks is not None:
+            self.checks = tuple(str(c) for c in self.checks)
+
+    def resolved_config(self) -> AutoNcsConfig:
+        """The effective :class:`AutoNcsConfig` (defaults when unset)."""
+        return self.config if self.config is not None else AutoNcsConfig()
+
+    def cache_key(self) -> str:
+        """A stable content hash over the **result-determining** fields.
+
+        Covers ``config`` (via its own :meth:`~repro.core.config.
+        AutoNcsConfig.cache_key`), ``seed``, ``verify``, ``baseline`` and
+        ``checks``.  Excluded by design: ``n_jobs`` and ``resilience``
+        (execution strategy — results are seed-reproducible regardless),
+        ``label`` (cosmetic) and ``hopfield`` (an in-memory object whose
+        influence is already captured by the functional-check flag in
+        ``checks``).  Combine with :meth:`~repro.networks.
+        connection_matrix.ConnectionMatrix.digest` to address cached flow
+        results.
+        """
+        from repro.utils.canonical import stable_hash
+
+        seed = self.seed
+        if seed is not None and not isinstance(seed, int):
+            # A live Generator has no stable content identity; callers
+            # wanting cache hits should pass int seeds.
+            seed = f"generator:{id(seed)}"
+        return stable_hash(
+            {
+                "config": self.resolved_config().cache_key(),
+                "seed": seed,
+                "verify": self.verify,
+                "baseline": self.baseline,
+                "checks": self.checks,
+            }
+        )
+
+
+def _resolve_options(
+    function: str,
+    options: Optional[FlowOptions],
+    legacy: dict,
+    allowed: Tuple[str, ...],
+) -> FlowOptions:
+    """Merge deprecated per-call kwargs into a :class:`FlowOptions`.
+
+    Legacy keywords override fields of ``options`` (matching the pre-1.7
+    behaviour where they were the only configuration channel) and emit
+    one deprecation warning per call.
+    """
+    unknown = sorted(set(legacy) - set(allowed))
+    if unknown:
+        raise TypeError(
+            f"{function}() got unexpected keyword argument(s): {', '.join(unknown)}"
+        )
+    provided = {key: value for key, value in legacy.items() if value is not _UNSET}
+    if not provided:
+        return options if options is not None else FlowOptions()
+    warn_deprecated(
+        f"repro.{function}({', '.join(sorted(provided))}=...) keyword arguments",
+        "FlowOptions via the options= parameter",
+        stacklevel=4,
+    )
+    base = options if options is not None else FlowOptions()
+    return replace(base, **provided)
+
+
+#: Sentinel distinguishing "legacy kwarg not passed" from explicit None.
+_UNSET = object()
+
+
+def load_network(
+    path: Union[str, "os.PathLike[str]"],
+    name: Optional[str] = None,
+) -> ConnectionMatrix:
+    """Load a :class:`ConnectionMatrix` from disk.
+
+    ``.npz`` archives (dense or sparse layout, see
+    :mod:`repro.networks.io`) load by extension; anything else is parsed
+    as an edge-list text file.  ``name`` overrides the stored network
+    name when given.
+    """
+    from repro.networks.io import load_network_edgelist, load_network_npz
+
+    if str(path).endswith(".npz"):
+        network = load_network_npz(path)
+    else:
+        network = load_network_edgelist(path)
+    if name is not None:
+        network = network.copy(name=name)
+    return network
 
 
 def map_network(
     network: ConnectionMatrix,
     *,
-    config: Optional[AutoNcsConfig] = None,
-    seed: RngLike = None,
-    verify: bool = False,
+    options: Optional[FlowOptions] = None,
+    config=_UNSET,
+    seed=_UNSET,
+    verify=_UNSET,
 ) -> AutoNcsResult:
     """Run the full AutoNCS flow (ISC → mapping → placement → routing).
 
@@ -61,20 +226,12 @@ def map_network(
     ----------
     network:
         The connection matrix to implement.
-    config:
-        Flow configuration; defaults to the paper settings
-        (:class:`~repro.core.config.AutoNcsConfig`; see also
-        :func:`~repro.core.config.fast_config` for quick previews).
-        The routing algorithm is selected here: pass
-        ``AutoNcsConfig(routing=RoutingConfig(algorithm="negotiated"))``
-        for PathFinder-style negotiated congestion instead of the
-        paper's ordered route with capacity relaxation.
-    seed:
-        RNG seed material (int, :class:`numpy.random.Generator` or
-        ``None`` for nondeterministic).
-    verify:
-        Run the independent end-to-end verifier on the finished design
-        and raise :class:`~repro.verify.VerificationError` on violation.
+    options:
+        All flow settings (see :class:`FlowOptions`); relevant fields are
+        ``config``, ``seed`` and ``verify``.
+    config / seed / verify:
+        Deprecated per-call equivalents of the same-named
+        :class:`FlowOptions` fields.
 
     Returns
     -------
@@ -83,17 +240,24 @@ def map_network(
         diagnostics in ``metadata`` and the ``.to_dict()`` /
         ``.format_table()`` result surface.
     """
-    return AutoNCS(config).run(network, rng=seed, verify=verify)
+    opts = _resolve_options(
+        "map_network",
+        options,
+        {"config": config, "seed": seed, "verify": verify},
+        ("config", "seed", "verify"),
+    )
+    return AutoNCS(opts.config).run(network, rng=opts.seed, verify=opts.verify)
 
 
 def compare(
     network: ConnectionMatrix,
     *,
-    config: Optional[AutoNcsConfig] = None,
-    seed: RngLike = None,
-    n_jobs: int = 1,
-    label: Optional[str] = None,
-    resilience=None,
+    options: Optional[FlowOptions] = None,
+    config=_UNSET,
+    seed=_UNSET,
+    n_jobs=_UNSET,
+    label=_UNSET,
+    resilience=_UNSET,
 ) -> ComparisonReport:
     """Run AutoNCS and the FullCro baseline; report the Table 1 comparison.
 
@@ -101,23 +265,14 @@ def compare(
     ----------
     network:
         The connection matrix to implement with both flows.
-    config:
-        Flow configuration shared by both flows.
-    seed:
-        Parent seed; each flow draws from its own spawned child stream,
-        so either side is reproducible in isolation.
-    n_jobs:
-        ``> 1`` runs the two flows on worker processes through the
-        runtime engine.  The parallel path replays the exact child seeds
-        the serial path would spawn, so the report is identical for any
-        value.
-    label:
-        Report label (defaults to the network name).
-    resilience:
-        Optional :class:`~repro.runtime.resilience.ResilienceConfig`
-        adding per-flow retries and wall-clock timeouts; the flows then
-        run through the runtime engine even at ``n_jobs=1``.  The
-        retried flow replays its own seed, so the report is unchanged.
+    options:
+        All flow settings (see :class:`FlowOptions`); relevant fields are
+        ``config``, ``seed``, ``n_jobs``, ``label`` and ``resilience``.
+        Each flow draws from its own child stream spawned from ``seed``,
+        so either side is reproducible in isolation, for any ``n_jobs``.
+    config / seed / n_jobs / label / resilience:
+        Deprecated per-call equivalents of the same-named
+        :class:`FlowOptions` fields.
 
     Returns
     -------
@@ -125,13 +280,25 @@ def compare(
         Wirelength/area/delay of both designs plus reduction
         percentages, with ``.to_dict()`` / ``.format_table()``.
     """
-    if n_jobs <= 1 and resilience is None:
-        return AutoNCS(config).compare(network, label=label, rng=seed)
+    opts = _resolve_options(
+        "compare",
+        options,
+        {
+            "config": config,
+            "seed": seed,
+            "n_jobs": n_jobs,
+            "label": label,
+            "resilience": resilience,
+        },
+        ("config", "seed", "n_jobs", "label", "resilience"),
+    )
+    if opts.n_jobs <= 1 and opts.resilience is None:
+        return AutoNCS(opts.config).compare(network, label=opts.label, rng=opts.seed)
     from repro.runtime import Job, Runner
     from repro.utils.rng import ensure_rng, spawn_seeds
 
-    autoncs_seed, fullcro_seed = spawn_seeds(ensure_rng(seed), 2)
-    flow_config = config if config is not None else AutoNcsConfig()
+    autoncs_seed, fullcro_seed = spawn_seeds(ensure_rng(opts.seed), 2)
+    flow_config = opts.resolved_config()
     payload = {"network": network, "config": flow_config}
     jobs = [
         Job(kind="autoncs", label=f"{network.name} autoncs",
@@ -139,7 +306,7 @@ def compare(
         Job(kind="fullcro", label=f"{network.name} fullcro",
             payload=payload, seed=fullcro_seed),
     ]
-    results = Runner(n_jobs=n_jobs, resilience=resilience).run(jobs)
+    results = Runner(n_jobs=opts.n_jobs, resilience=opts.resilience).run(jobs)
     failed = [r for r in results if r.failure is not None]
     if failed:
         # The comparison needs both designs; a collected (non-fail-fast)
@@ -151,7 +318,7 @@ def compare(
         )
     result = results[0].value
     return ComparisonReport(
-        label=label if label is not None else network.name,
+        label=opts.label if opts.label is not None else network.name,
         autoncs=result.design,
         fullcro=results[1].value,
         metadata={"isc_iterations": result.isc.iterations,
@@ -162,11 +329,12 @@ def compare(
 def verify(
     target: Union[ConnectionMatrix, AutoNcsResult, PhysicalDesign, MappingResult],
     *,
-    config: Optional[AutoNcsConfig] = None,
-    seed: RngLike = None,
-    baseline: bool = False,
-    checks: Optional[Sequence[str]] = None,
-    hopfield=None,
+    options: Optional[FlowOptions] = None,
+    config=_UNSET,
+    seed=_UNSET,
+    baseline=_UNSET,
+    checks=_UNSET,
+    hopfield=_UNSET,
 ) -> VerificationReport:
     """Independently verify a flow artifact (or run the flow, then verify).
 
@@ -179,14 +347,12 @@ def verify(
         directly; a :class:`~repro.networks.connection_matrix.
         ConnectionMatrix` first runs the flow (AutoNCS by default,
         FullCro with ``baseline=True``) and verifies the result.
-    config / seed / baseline:
-        Flow settings, used only when ``target`` is a network.
-    checks:
-        Subset of check names to run (``"coverage"``, ``"hardware"``,
-        ``"physical"``, ``"functional"``); default all.
-    hopfield:
-        Optional :class:`~repro.networks.hopfield.HopfieldNetwork`
-        enabling the Hopfield-recall part of the functional check.
+    options:
+        All flow settings (see :class:`FlowOptions`); relevant fields are
+        ``config``, ``seed``, ``baseline``, ``checks`` and ``hopfield``.
+    config / seed / baseline / checks / hopfield:
+        Deprecated per-call equivalents of the same-named
+        :class:`FlowOptions` fields.
 
     Returns
     -------
@@ -197,18 +363,30 @@ def verify(
     """
     from repro.verify.verifier import verify_flow, verify_mapping
 
+    opts = _resolve_options(
+        "verify",
+        options,
+        {
+            "config": config,
+            "seed": seed,
+            "baseline": baseline,
+            "checks": checks,
+            "hopfield": hopfield,
+        },
+        ("config", "seed", "baseline", "checks", "hopfield"),
+    )
     if isinstance(target, ConnectionMatrix):
-        flow = AutoNCS(config)
-        if baseline:
-            target = flow.run_baseline(target, rng=seed)
+        flow = AutoNCS(opts.config)
+        if opts.baseline:
+            target = flow.run_baseline(target, rng=opts.seed)
         else:
-            target = flow.run(target, rng=seed)
+            target = flow.run(target, rng=opts.seed)
     if isinstance(target, AutoNcsResult):
         target = target.design
     if isinstance(target, PhysicalDesign):
-        return verify_flow(target, hopfield=hopfield, checks=checks)
+        return verify_flow(target, hopfield=opts.hopfield, checks=opts.checks)
     if isinstance(target, MappingResult):
-        return verify_mapping(target, hopfield=hopfield, checks=checks)
+        return verify_mapping(target, hopfield=opts.hopfield, checks=opts.checks)
     raise TypeError(
         "verify() accepts a ConnectionMatrix, AutoNcsResult, PhysicalDesign "
         f"or MappingResult, got {type(target).__name__}"

@@ -32,6 +32,18 @@ Suites
     the flow/failure counters.  The profile is fixed — independent of
     ``--fast`` — so one committed baseline serves every CI lane
     (``mode="load"`` in the JSON).
+``clustering``
+    The large-scale clustering pipeline on a 50k-neuron scale-free
+    network: sparse generation, the tiered
+    :func:`~repro.clustering.hierarchical.cluster_hierarchical` pass,
+    AutoNCS mapping, and independent coverage/hardware verification.
+    QoR is the clustering quality the sparse redesign must hold
+    (outlier ratio, crossbar count, coarse-cut ratio, verification
+    failures pinned at zero); wall time is recorded per stage and only
+    gated under ``--time-threshold``.  Like ``service`` the profile is
+    fixed — ``--fast`` is ignored and one committed baseline
+    (``mode="scale"``) serves every lane; ``--dimension`` still
+    overrides for local iteration (the gate rejects mismatched runs).
 
 Regression policy
 -----------------
@@ -65,7 +77,7 @@ import numpy as np
 SCHEMA_VERSION = 1
 
 #: The known suites, in run order.
-SUITES = ("routing", "flow", "service")
+SUITES = ("routing", "flow", "service", "clustering")
 
 #: suite -> committed baseline file name (repo root).
 BASELINE_FILES = {suite: f"BENCH_{suite}.json" for suite in SUITES}
@@ -100,6 +112,14 @@ SERVICE_WORKERS = 4
 
 #: Largest network in the service mix (doubles as the suite dimension).
 SERVICE_DIMENSION = 16 + 2 * (SERVICE_UNIQUE_JOBS - 1)
+
+#: The ``clustering`` suite's fixed scale profile.  Also independent of
+#: ``--fast``: the suite exists to prove the sparse-first network core
+#: holds at a scale the dense path cannot reach, and one profile means
+#: one committed baseline (``mode="scale"`` in the JSON).
+CLUSTERING_MODE = "scale"
+CLUSTERING_DIMENSION = 50_000
+CLUSTERING_ATTACHMENT = 2  # Barabási–Albert edges-per-new-neuron
 
 
 def metric_gate(name: str) -> str:
@@ -401,6 +421,102 @@ def _run_service_suite(seed: int) -> "SuiteResult":
     return result
 
 
+def _run_clustering_suite(seed: int, dimension: Optional[int] = None) -> "SuiteResult":
+    """The ``clustering`` suite: sparse 50k pipeline, stage by stage.
+
+    Runs in-process (no runtime Runner): the stages feed each other a
+    50k-neuron sparse network and its clustering, which have no business
+    crossing a process-pool pickle boundary.  Each stage is timed
+    separately so the trajectory shows *where* scale regressions land
+    (generation vs clustering vs mapping vs verification).
+    """
+    import repro
+    from repro.core.autoncs import AutoNCS
+    from repro.mapping.autoncs_mapping import autoncs_mapping
+    from repro.networks import scale_free_network
+    from repro.observability import Recorder, recording
+    from repro.utils.timers import Timer
+    from repro.verify.verifier import verify_mapping
+
+    n = dimension or CLUSTERING_DIMENSION
+    result = SuiteResult(
+        suite="clustering",
+        mode=CLUSTERING_MODE,
+        seed=seed,
+        dimension=n,
+        package_version=repro.__version__,
+    )
+    flow = AutoNCS()
+    recorder = Recorder()
+    with recording(recorder):
+        with Timer() as timer:
+            network = scale_free_network(n, CLUSTERING_ATTACHMENT, rng=seed)
+        result.benchmarks.append(
+            BenchRecord(
+                name="scale.generate",
+                tags=["clustering", "generate", "scale-free"],
+                wall_seconds=timer.elapsed,
+                qor={
+                    "neurons": float(network.size),
+                    "connections": float(network.num_connections),
+                    "dense_backend": 0.0 if network.backend == "sparse" else 1.0,
+                },
+            )
+        )
+        with Timer() as timer:
+            isc = flow.cluster(network, rng=np.random.default_rng(seed))
+        result.benchmarks.append(
+            BenchRecord(
+                name="scale.cluster",
+                tags=["clustering", "hierarchical", "isc"],
+                wall_seconds=timer.elapsed,
+                qor={
+                    "crossbars": float(len(isc.crossbars)),
+                    "outlier_ratio": isc.outlier_ratio,
+                    "cut_ratio": float(isc.metadata.get("cut_ratio", 0.0)),
+                    "tiers": float(isc.metadata.get("tiers", 1)),
+                },
+                counters={
+                    name: float(value)
+                    for name, value in recorder.snapshot().counters.items()
+                    if name.startswith("hierarchical.")
+                },
+            )
+        )
+        with Timer() as timer:
+            mapping = autoncs_mapping(isc, library=flow.library)
+        result.benchmarks.append(
+            BenchRecord(
+                name="scale.map",
+                tags=["clustering", "mapping"],
+                wall_seconds=timer.elapsed,
+                qor={
+                    "crossbar_instances": float(mapping.num_crossbars),
+                    "discrete_synapses": float(mapping.num_synapses),
+                    "netlist_cells": float(len(mapping.netlist.cells)),
+                },
+            )
+        )
+        with Timer() as timer:
+            report = verify_mapping(mapping, checks=("coverage", "hardware"))
+        result.benchmarks.append(
+            BenchRecord(
+                name="scale.verify",
+                tags=["clustering", "verify"],
+                wall_seconds=timer.elapsed,
+                qor={
+                    # The gate pins these at zero: the 50k design must
+                    # keep verifying clean.
+                    "failed_checks": float(
+                        sum(1 for c in report.checks if c.status == "fail")
+                    ),
+                    "violations": float(len(report.violations)),
+                },
+            )
+        )
+    return result
+
+
 def _register_executors() -> None:
     from repro.runtime import register_executor
 
@@ -457,6 +573,10 @@ def run_suite(
         # Fixed load profile, deliberately ignoring fast/dimension/
         # testbenches — see the module docs.
         return _run_service_suite(seed)
+    if suite == "clustering":
+        # Fixed scale profile (ignores --fast); --dimension still
+        # overrides for local iteration and the harness tests.
+        return _run_clustering_suite(seed, dimension=dimension)
     _register_executors()
     mode = "fast" if fast else "full"
     dim = dimension if dimension else (FAST_DIMENSION if fast else FULL_DIMENSION)

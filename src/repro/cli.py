@@ -41,6 +41,7 @@ import sys
 from contextlib import contextmanager
 from typing import Iterator, List, Optional
 
+from repro.api import FlowOptions
 from repro.api import compare as api_compare
 from repro.clustering import iterative_spectral_clustering
 from repro.core.config import AutoNcsConfig, fast_config
@@ -194,9 +195,15 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     config = _apply_router(fast_config() if args.fast else AutoNcsConfig(), args.router)
     print(f"network: {network}")
     with _observability(args.trace, args.metrics):
-        report = api_compare(network, config=config, seed=args.seed,
-                             n_jobs=args.jobs,
-                             resilience=_resilience_from_args(args))
+        report = api_compare(
+            network,
+            options=FlowOptions(
+                config=config,
+                seed=args.seed,
+                n_jobs=args.jobs,
+                resilience=_resilience_from_args(args),
+            ),
+        )
     print(report.format_table())
     if args.verbose:
         from repro.core.summary import summarize_design
@@ -342,11 +349,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     with _observability(args.trace, args.metrics):
         report = api_verify(
             network,
-            config=config,
-            seed=args.seed,
-            baseline=args.baseline,
-            checks=args.checks or None,
-            hopfield=hopfield,
+            options=FlowOptions(
+                config=config,
+                seed=args.seed,
+                baseline=args.baseline,
+                checks=args.checks or None,
+                hopfield=hopfield,
+            ),
         )
     print(report.format())
     return 0 if report.passed else 1

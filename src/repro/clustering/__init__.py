@@ -10,9 +10,16 @@
 * :mod:`~repro.clustering.preference` — crossbar preference CP (Sec. 3.1).
 * :mod:`~repro.clustering.isc` — iterative spectral clustering, ISC
   (Algorithm 3).
+* :mod:`~repro.clustering.hierarchical` — tiered (Group-Scissor-style)
+  clustering for 50k+ neuron networks.
 """
 
 from repro.clustering.gcp import greedy_cluster_size_prediction
+from repro.clustering.hierarchical import (
+    DEFAULT_TIER_SIZE,
+    cluster_hierarchical,
+    coarse_partition,
+)
 from repro.clustering.isc import (
     CrossbarAssignment,
     IscIterationRecord,
@@ -33,9 +40,12 @@ __all__ = [
     "Cluster",
     "ClusteringResult",
     "CrossbarAssignment",
+    "DEFAULT_TIER_SIZE",
     "IscIterationRecord",
     "IscResult",
     "KMeansResult",
+    "cluster_hierarchical",
+    "coarse_partition",
     "crossbar_preference",
     "greedy_cluster_size_prediction",
     "iterative_spectral_clustering",

@@ -22,6 +22,7 @@ import math
 from typing import Union
 
 import numpy as np
+from scipy import sparse
 
 from repro.clustering.kmeans import kmeans, kmeans_plus_plus_centroids
 from repro.clustering.result import ClusteringResult, clusters_from_labels
@@ -85,6 +86,7 @@ def greedy_cluster_size_prediction(
     rng: RngLike = None,
     max_outer_iterations: int = 50,
     balance: bool = True,
+    split_mode: str = "lloyd",
 ) -> ClusteringResult:
     """Run GCP (Algorithm 2): size-capped spectral clustering.
 
@@ -103,6 +105,17 @@ def greedy_cluster_size_prediction(
         fragment weakly-structured networks far below that, which starves
         the ISC iterations.  The merge pass restores the predicted regime
         without ever violating the size cap.
+    split_mode:
+        ``"lloyd"`` (default) is Algorithm 2 verbatim: after every split
+        sweep the full k-means re-converges before the next sweep.  On
+        hub-dominated topologies (scale-free tiers) that loop can run
+        hundreds of sweeps, each re-running Lloyd's from scratch.
+        ``"bisect"`` runs one k-means and then caps sizes by deterministic
+        recursive 2-means bisection — the same machinery the safety net
+        uses — trading a little cluster quality for orders of magnitude in
+        speed.  The tiered large-network pass uses ``"bisect"``; the
+        paper-scale flows keep ``"lloyd"``, so existing results are
+        untouched.
 
     Returns
     -------
@@ -119,6 +132,8 @@ def greedy_cluster_size_prediction(
         raise ValueError(f"max_size must be >= 1, got {max_size}")
     if n == 0:
         raise ValueError("cannot cluster an empty network")
+    if split_mode not in ("lloyd", "bisect"):
+        raise ValueError(f"split_mode must be 'lloyd' or 'bisect', got {split_mode!r}")
     # Algorithm 2 line 1 asks for the full generalized eigenbasis; only the
     # first k columns are ever read and k stays near n/s, so we compute the
     # basis lazily (a bounded prefix, extended on demand) — semantically
@@ -126,6 +141,30 @@ def greedy_cluster_size_prediction(
     k = max(1, min(n, math.ceil(n / max_size)))
     basis_cap = min(n, max(4 * k, 32))
     basis, _ = spectral_embedding(network, k=basis_cap)
+    if split_mode == "bisect":
+        points = basis[:, :k]
+        km = kmeans(points, k, max_iterations=40, rng=rng, repair_empty=False)
+        labels = _enforce_size_limit(points, km.labels, max_size, rng)
+        if balance:
+            if isinstance(network, ConnectionMatrix):
+                similarity = network.adjacency(np.float64)
+            elif sparse.issparse(network):
+                similarity = sparse.csr_array(network).astype(np.float64)
+            else:
+                similarity = np.asarray(network, dtype=float)
+            labels = _merge_undersized(points, labels, max_size, similarity)
+        clusters = clusters_from_labels(labels)
+        return ClusteringResult(
+            clusters=clusters,
+            n=n,
+            method="gcp",
+            metadata={
+                "max_size": max_size,
+                "final_k": len(clusters),
+                "outer_iterations": 1,
+                "split_mode": "bisect",
+            },
+        )
     labels = None
     outer_iterations = 0
     while outer_iterations < max_outer_iterations:
@@ -166,7 +205,9 @@ def greedy_cluster_size_prediction(
     labels = _enforce_size_limit(points, labels, max_size, rng)
     if balance:
         if isinstance(network, ConnectionMatrix):
-            similarity = network.matrix.astype(float)
+            similarity = network.adjacency(np.float64)
+        elif sparse.issparse(network):
+            similarity = sparse.csr_array(network).astype(np.float64)
         else:
             similarity = np.asarray(network, dtype=float)
         labels = _merge_undersized(points, labels, max_size, similarity)
@@ -187,7 +228,7 @@ def _merge_undersized(
     points: np.ndarray,
     labels: np.ndarray,
     max_size: int,
-    similarity: np.ndarray,
+    similarity,
     tolerance: float = 0.6,
 ) -> np.ndarray:
     """Greedily merge small clusters with their nearest-centroid neighbour.
@@ -214,7 +255,9 @@ def _merge_undersized(
     indicator = np.zeros((n, len(unique)))
     for value, idx in members.items():
         indicator[idx, index_of[value]] = 1.0
-    pair_connections = indicator.T @ similarity @ indicator
+    # Right-to-left keeps the product sparse-compatible (csr @ dense → dense);
+    # all entries are 0/1 sums, exact in float64 on either path.
+    pair_connections = indicator.T @ (similarity @ indicator)
 
     def preference(value) -> float:
         pos = index_of[value]

@@ -1,0 +1,251 @@
+"""Tiered (hierarchical) clustering for very large networks.
+
+ISC re-clusters the *whole* remaining network every iteration, which is
+wasteful above a few thousand neurons: each GCP pass costs a truncated
+eigensolve over all ``n`` neurons, repeated for every ISC iteration.  The
+tiered pass borrows the decompose-then-map structure of *Group Scissor*
+(PAPERS.md): first a single coarse spectral partition cuts the network into
+**tiers** of at most ``tier_size`` neurons, then full ISC runs independently
+inside each tier (a dense problem of bounded size), and finally the per-tier
+results are stitched back together — cross-tier connections join the
+per-tier leftovers as discrete-synapse outliers.
+
+The result is a regular :class:`~repro.clustering.isc.IscResult` over the
+original network, so mapping, verification and reporting downstream are
+unchanged.  The trade-off is explicit: connections cut by the coarse
+partition can never be absorbed by a crossbar, so the outlier ratio is
+bounded below by the coarse cut ratio; in exchange the cost drops from
+"many eigensolves over ``n``" to "one truncated eigensolve over ``n`` plus
+many dense solves over ``tier_size``", which is what makes 50k+ neurons
+tractable end-to-end (see DESIGN.md and BENCH_clustering.json).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.clustering.gcp import _enforce_size_limit, greedy_cluster_size_prediction
+from repro.clustering.isc import (
+    DEFAULT_CROSSBAR_SIZES,
+    DEFAULT_SELECTION_QUANTILE,
+    CrossbarAssignment,
+    IscIterationRecord,
+    IscResult,
+    iterative_spectral_clustering,
+)
+from repro.clustering.kmeans import kmeans
+from repro.clustering.preference import crossbar_preference
+from repro.clustering.result import ClusteringResult, clusters_from_labels
+from repro.clustering.spectral import spectral_embedding
+from repro.networks.connection_matrix import ConnectionMatrix
+from repro.observability import get_recorder
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
+
+#: Default tier capacity: large enough that tiers retain real cluster
+#: structure, small enough that the per-tier dense eigensolves stay cheap
+#: (matches DENSE_EIGENSOLVER_CUTOFF, so every tier runs the exact solver).
+DEFAULT_TIER_SIZE = 1024
+
+
+def _fast_gcp(network, max_size: int, rng: RngLike = None):
+    """GCP with the fast bisection split — the tiered pass's clusterer.
+
+    Scale-free tiers make Algorithm 2's re-Lloyd split loop pathological
+    (hundreds of sweeps); the bisect mode caps sizes deterministically
+    after a single k-means.  See ``split_mode`` in
+    :func:`~repro.clustering.gcp.greedy_cluster_size_prediction`.
+    """
+    return greedy_cluster_size_prediction(
+        network, max_size, rng=rng, split_mode="bisect"
+    )
+
+
+def coarse_partition(
+    network: ConnectionMatrix,
+    tier_size: int = DEFAULT_TIER_SIZE,
+    rng: RngLike = None,
+) -> ClusteringResult:
+    """One spectral cut of the whole network into tiers of ≤ ``tier_size``.
+
+    A single truncated embedding with ``k = ceil(n / tier_size)`` followed
+    by k-means, then deterministic bisection of any oversized tier.  This
+    is MSC at tier granularity — the "scissor" step.
+    """
+    if tier_size < 1:
+        raise ValueError(f"tier_size must be >= 1, got {tier_size}")
+    rng = ensure_rng(rng)
+    n = network.size
+    k = max(1, -(-n // tier_size))
+    if k == 1:
+        labels = np.zeros(n, dtype=int)
+    else:
+        embedding, _ = spectral_embedding(network, k=min(k, n))
+        km = kmeans(embedding, k, rng=rng)
+        labels = _enforce_size_limit(embedding, km.labels, tier_size, rng)
+    return ClusteringResult(
+        clusters=clusters_from_labels(labels),
+        n=n,
+        method="coarse",
+        metadata={"tier_size": tier_size, "tiers": int(len(set(labels.tolist())))},
+    )
+
+
+def _remap_assignment(
+    assignment: CrossbarAssignment,
+    members: np.ndarray,
+    iteration_offset: int,
+) -> CrossbarAssignment:
+    """Translate a tier-local crossbar assignment to global neuron indices."""
+    return CrossbarAssignment(
+        members=tuple(int(members[local]) for local in assignment.members),
+        size=assignment.size,
+        connections=tuple(
+            (int(members[i]), int(members[j])) for i, j in assignment.connections
+        ),
+        iteration=assignment.iteration + iteration_offset,
+    )
+
+
+def cluster_hierarchical(
+    network: ConnectionMatrix,
+    sizes: Sequence[int] = DEFAULT_CROSSBAR_SIZES,
+    utilization_threshold: float = 0.05,
+    selection_quantile: float = DEFAULT_SELECTION_QUANTILE,
+    max_iterations: int = 50,
+    tier_size: int = DEFAULT_TIER_SIZE,
+    rng: RngLike = None,
+    preference: Callable[[int, int], float] = crossbar_preference,
+    clusterer: Optional[Callable[..., "object"]] = None,
+) -> IscResult:
+    """Tiered ISC: coarse partition → per-tier ISC → stitch.
+
+    Parameters mirror :func:`~repro.clustering.isc.
+    iterative_spectral_clustering`, plus ``tier_size`` — the maximum number
+    of neurons a tier may hold.  Networks no larger than ``tier_size``
+    simply run plain ISC (one tier), so the function is a safe default for
+    any scale.
+
+    Returns an :class:`IscResult` over the **original** network whose
+    crossbars are the union of the per-tier crossbars (re-indexed to global
+    neuron ids) and whose outliers are the per-tier leftovers plus every
+    cross-tier connection.  ``result.validate()`` holds by construction and
+    is re-checked before returning.
+
+    ``clusterer=None`` (default) resolves per path: the small-network
+    delegation to flat ISC uses the verbatim Algorithm 2 GCP, while the
+    tiered path uses the fast bisect-split GCP.
+    """
+    if not isinstance(network, ConnectionMatrix):
+        raise TypeError("network must be a ConnectionMatrix")
+    rng = ensure_rng(rng)
+    recorder = get_recorder()
+
+    if network.size <= tier_size:
+        return iterative_spectral_clustering(
+            network,
+            sizes=sizes,
+            utilization_threshold=utilization_threshold,
+            selection_quantile=selection_quantile,
+            max_iterations=max_iterations,
+            rng=rng,
+            preference=preference,
+            clusterer=clusterer if clusterer is not None else greedy_cluster_size_prediction,
+        )
+    if clusterer is None:
+        clusterer = _fast_gcp
+
+    with recorder.span("hierarchical.partition", neurons=network.size):
+        partition_rng, tier_parent_rng = spawn_rng(rng, 2)
+        partition = coarse_partition(network, tier_size=tier_size, rng=partition_rng)
+    tiers = partition.clusters
+    tier_rngs = spawn_rng(tier_parent_rng, len(tiers))
+
+    crossbars: List[CrossbarAssignment] = []
+    records: List[IscIterationRecord] = []
+    outlier_parts: List[Tuple[np.ndarray, np.ndarray]] = []
+    iteration_offset = 0
+    tier_summaries = []
+    cut_connections = network.num_connections
+    for tier, tier_rng in zip(tiers, tier_rngs):
+        members = np.asarray(tier.members, dtype=np.int64)
+        block = network.submatrix(members)  # dense, ≤ tier_size × tier_size
+        sub_network = ConnectionMatrix.from_dense(
+            block, name=f"{network.name}-tier", backend="dense"
+        )
+        if sub_network.num_connections == 0:
+            tier_summaries.append({"neurons": int(members.size), "crossbars": 0})
+            continue
+        cut_connections -= sub_network.num_connections
+        with recorder.span("hierarchical.tier", neurons=int(members.size)):
+            tier_result = iterative_spectral_clustering(
+                sub_network,
+                sizes=sizes,
+                utilization_threshold=utilization_threshold,
+                selection_quantile=selection_quantile,
+                max_iterations=max_iterations,
+                rng=tier_rng,
+                preference=preference,
+                clusterer=clusterer,
+            )
+        for assignment in tier_result.crossbars:
+            crossbars.append(_remap_assignment(assignment, members, iteration_offset))
+        for record in tier_result.records:
+            records.append(
+                IscIterationRecord(
+                    iteration=record.iteration + iteration_offset,
+                    clusters_formed=record.clusters_formed,
+                    crossbars_placed=record.crossbars_placed,
+                    connections_clustered=record.connections_clustered,
+                    average_utilization=record.average_utilization,
+                    average_preference=record.average_preference,
+                    outlier_ratio_after=record.outlier_ratio_after,
+                    quartile_preference=record.quartile_preference,
+                )
+            )
+        iteration_offset += tier_result.iterations
+        if tier_result.outliers:
+            local = np.asarray(tier_result.outliers, dtype=np.int64)
+            outlier_parts.append((members[local[:, 0]], members[local[:, 1]]))
+        tier_summaries.append(
+            {"neurons": int(members.size), "crossbars": len(tier_result.crossbars)}
+        )
+
+    # Cross-tier connections: everything the coarse cut severed.
+    tier_label = np.full(network.size, -1, dtype=np.int64)
+    for position, tier in enumerate(tiers):
+        tier_label[np.asarray(tier.members, dtype=np.int64)] = position
+    rows, cols = network.connection_arrays()
+    crossing = tier_label[rows] != tier_label[cols]
+    outlier_parts.append((rows[crossing], cols[crossing]))
+
+    out_rows = np.concatenate([part[0] for part in outlier_parts])
+    out_cols = np.concatenate([part[1] for part in outlier_parts])
+    order = np.lexsort((out_cols, out_rows))  # global row-major, deterministic
+    outliers = list(zip(out_rows[order].tolist(), out_cols[order].tolist()))
+
+    total = network.num_connections
+    result = IscResult(
+        network=network,
+        crossbars=crossbars,
+        outliers=outliers,
+        records=records,
+        utilization_threshold=utilization_threshold,
+        sizes=tuple(sorted(int(s) for s in sizes)),
+        metadata={
+            "method": "hierarchical",
+            "tier_size": tier_size,
+            "tiers": len(tiers),
+            "tier_summaries": tier_summaries,
+            "cut_ratio": (cut_connections / total) if total else 0.0,
+            "max_iterations": max_iterations,
+            "selection_quantile": selection_quantile,
+        },
+    )
+    result.validate()
+    recorder.count("hierarchical.runs")
+    recorder.count("hierarchical.tiers", len(tiers))
+    if recorder.enabled:
+        recorder.gauge("hierarchical.cut_ratio", result.metadata["cut_ratio"])
+    return result

@@ -173,10 +173,38 @@ def _cluster_connections(
     remaining: ConnectionMatrix, members: Sequence[int]
 ) -> Tuple[Tuple[int, int], ...]:
     """Global ``(i, j)`` pairs of the remaining network inside ``members``."""
-    idx = np.asarray(list(members), dtype=int)
-    block = remaining.submatrix(idx, idx)
-    rows, cols = np.nonzero(block)
-    return tuple((int(idx[r]), int(idx[c])) for r, c in zip(rows, cols))
+    return _clusters_connections([members], remaining)[0]
+
+
+def _clusters_connections(
+    member_lists: Sequence[Sequence[int]], remaining: ConnectionMatrix
+) -> List[Tuple[Tuple[int, int], ...]]:
+    """Per-cluster within-cluster connection pairs for **disjoint** clusters.
+
+    One O(connections) sweep over the edge arrays instead of one submatrix
+    extraction per cluster.  Pairs come out in global row-major order,
+    which — because cluster members are sorted ascending — is exactly the
+    order the historical per-block ``np.nonzero`` extraction produced.
+    """
+    label = np.full(remaining.size, -1, dtype=np.int64)
+    for position, members in enumerate(member_lists):
+        label[np.asarray(list(members), dtype=int)] = position
+    rows, cols = remaining.connection_arrays()
+    within = (label[rows] >= 0) & (label[rows] == label[cols])
+    rows, cols = rows[within], cols[within]
+    groups = label[rows]
+    order = np.argsort(groups, kind="stable")  # keeps row-major order per group
+    rows, cols, groups = rows[order], cols[order], groups[order]
+    counts = np.bincount(groups, minlength=len(member_lists))
+    results: List[Tuple[Tuple[int, int], ...]] = []
+    start = 0
+    for count in counts:
+        stop = start + int(count)
+        results.append(
+            tuple(zip(rows[start:stop].tolist(), cols[start:stop].tolist()))
+        )
+        start = stop
+    return results
 
 
 def iterative_spectral_clustering(
@@ -246,9 +274,13 @@ def iterative_spectral_clustering(
         # Algorithm 3 line 3: cluster the remaining network, size-capped.
         clustering = clusterer(remaining, max_s, rng=rng)
         # Lines 4-5: score clusters by CP at their minimum satisfiable size.
+        # The clusters partition the network, so all within-counts come from
+        # a single O(connections) pass.
+        within_counts = remaining.connections_within_many(
+            [cluster.members for cluster in clustering.clusters]
+        )
         scored = []
-        for cluster in clustering.clusters:
-            m = remaining.connections_within(cluster.members)
+        for cluster, m in zip(clustering.clusters, within_counts.tolist()):
             if m == 0:
                 continue  # a cluster with no connections never earns a crossbar
             s = minimum_satisfiable_size(cluster.size, size_list)
@@ -270,18 +302,27 @@ def iterative_spectral_clustering(
         if minimum_satisfiable_size(boundary[0].size, size_list) is None:
             break
         # Lines 9-14: realize the selected clusters, delete their
-        # connections from the remaining network.
+        # connections from the remaining network.  Selected clusters are
+        # disjoint, so extracting all connection groups up front and
+        # removing them in one batch is identical to the sequential
+        # extract-then-remove loop — at a single edge sweep instead of
+        # one matrix rebuild per cluster.
+        connection_groups = _clusters_connections(
+            [cluster.members for cluster, _, _, _ in selected], remaining
+        )
         placed: List[CrossbarAssignment] = []
-        for cluster, m, s, cp in selected:
-            connections = _cluster_connections(remaining, cluster.members)
-            assignment = CrossbarAssignment(
-                members=cluster.members,
-                size=s,
-                connections=connections,
-                iteration=iteration,
+        for (cluster, m, s, cp), connections in zip(selected, connection_groups):
+            placed.append(
+                CrossbarAssignment(
+                    members=cluster.members,
+                    size=s,
+                    connections=connections,
+                    iteration=iteration,
+                )
             )
-            placed.append(assignment)
-            remaining = remaining.remove_cluster(cluster.members)
+        remaining = remaining.remove_clusters(
+            [cluster.members for cluster, _, _, _ in selected]
+        )
         crossbars.extend(placed)
         # Line 15: average utilization of the crossbars placed this round.
         avg_u = float(np.mean([x.utilization for x in placed]))

@@ -13,6 +13,7 @@ from typing import Union
 
 import networkx as nx
 import numpy as np
+from scipy import sparse
 
 from repro.clustering.result import ClusteringResult, clusters_from_labels
 from repro.networks.connection_matrix import ConnectionMatrix
@@ -31,7 +32,10 @@ def modularity_clustering(
     """
     rng = ensure_rng(rng)
     if isinstance(network, ConnectionMatrix):
-        similarity = network.symmetrized()
+        similarity = network.similarity()  # backend-native: ndarray or csr
+    elif sparse.issparse(network):
+        similarity = sparse.csr_array(network).astype(np.float64)
+        similarity = sparse.csr_array(similarity.maximum(similarity.T))
     else:
         similarity = np.asarray(network, dtype=float)
         similarity = np.maximum(similarity, similarity.T)
@@ -40,7 +44,10 @@ def modularity_clustering(
         raise ValueError(f"max_size must be >= 1, got {max_size}")
     if n == 0:
         raise ValueError("cannot cluster an empty network")
-    graph = nx.from_numpy_array(similarity)
+    if sparse.issparse(similarity):
+        graph = nx.from_scipy_sparse_array(sparse.csr_matrix(similarity))
+    else:
+        graph = nx.from_numpy_array(similarity)
     if graph.number_of_edges() == 0:
         # no structure at all: contiguous chunks of max_size
         labels = np.arange(n) // max_size
@@ -57,7 +64,7 @@ def modularity_clustering(
     # Degree-ordered bisection of oversized communities.
     next_label = labels.max() + 1
     stack = list(np.unique(labels))
-    degrees = similarity.sum(axis=1)
+    degrees = np.asarray(similarity.sum(axis=1)).ravel()
     while stack:
         value = stack.pop()
         members = np.nonzero(labels == value)[0]
@@ -65,7 +72,9 @@ def modularity_clustering(
             continue
         # Split along the community's internal structure: order members by
         # degree inside the community and cut in half — cheap and stable.
-        internal = similarity[np.ix_(members, members)].sum(axis=1)
+        internal = np.asarray(
+            similarity[members][:, members].sum(axis=1)
+        ).ravel()
         order = members[np.argsort(internal + 1e-9 * degrees[members])]
         half = order[: members.size // 2]
         labels[half] = next_label

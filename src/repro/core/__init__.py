@@ -7,12 +7,11 @@
   (Table 1 rows).
 """
 
-import warnings
-
 from repro.core.autoncs import AutoNCS, AutoNcsResult, StageError, implement_mapping
 from repro.core.config import AutoNcsConfig
 from repro.core.report import ComparisonReport, reduction_percent
 from repro.core.summary import DesignSummary, summarize_design
+from repro.utils.deprecation import warn_deprecated
 
 __all__ = [
     "AutoNCS",
@@ -39,10 +38,9 @@ def _deprecated_facade(name):
     """
 
     def shim(*args, **kwargs):
-        warnings.warn(
-            f"repro.core.{name} is deprecated; use repro.{name} (the stable "
-            "public API, see repro.api)",
-            DeprecationWarning,
+        warn_deprecated(
+            f"repro.core.{name}",
+            f"repro.{name} (the stable public API, see repro.api)",
             stacklevel=2,
         )
         import repro.api

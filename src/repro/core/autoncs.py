@@ -28,6 +28,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.clustering.hierarchical import cluster_hierarchical
 from repro.clustering.isc import IscResult, iterative_spectral_clustering
 from repro.core.config import AutoNcsConfig
 from repro.core.report import ComparisonReport
@@ -369,11 +370,28 @@ class AutoNCS:
 
     # ------------------------------------------------------------------
     def cluster(self, network: ConnectionMatrix, rng: RngLike = None) -> IscResult:
-        """Run ISC with the configured library and threshold."""
+        """Run the configured clustering driver (flat ISC or tiered).
+
+        ``config.clustering`` picks the driver; the default (``"auto"``)
+        runs the paper's flat ISC up to ``config.hierarchical_threshold``
+        neurons — so all paper-scale results are untouched — and the tiered
+        :func:`~repro.clustering.hierarchical.cluster_hierarchical` pass
+        above it.
+        """
         _require_connections(network, stage="isc")
         threshold = self.config.utilization_threshold
         if threshold is None:
             threshold = fullcro_utilization(network, self.library.max_size)
+        if self.config.clustering_for(network.size) == "hierarchical":
+            return cluster_hierarchical(
+                network,
+                sizes=self.config.crossbar_sizes,
+                utilization_threshold=threshold,
+                selection_quantile=self.config.selection_quantile,
+                max_iterations=self.config.max_isc_iterations,
+                tier_size=self.config.tier_size,
+                rng=rng,
+            )
         return iterative_spectral_clustering(
             network,
             sizes=self.config.crossbar_sizes,

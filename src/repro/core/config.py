@@ -28,6 +28,16 @@ class AutoNcsConfig:
         Partial-selection quantile (0.75 → realize the top 25 % CP).
     max_isc_iterations:
         Safety cap on ISC iterations.
+    clustering:
+        Which clustering driver runs: ``"isc"`` (flat, the paper's
+        Algorithm 3), ``"hierarchical"`` (tiered Group-Scissor-style pass
+        for very large networks), or ``"auto"`` (default) — flat ISC up to
+        ``hierarchical_threshold`` neurons, tiered above it.
+    tier_size:
+        Maximum neurons per tier of the hierarchical pass.
+    hierarchical_threshold:
+        Network size above which ``clustering="auto"`` switches to the
+        tiered pass.
     technology:
         Physical technology model (45 nm default).
     placement / routing:
@@ -40,6 +50,9 @@ class AutoNcsConfig:
     utilization_threshold: Optional[float] = None
     selection_quantile: float = DEFAULT_SELECTION_QUANTILE
     max_isc_iterations: int = 50
+    clustering: str = "auto"
+    tier_size: int = 1024
+    hierarchical_threshold: int = 4096
     technology: Technology = field(default_factory=lambda: DEFAULT_TECHNOLOGY)
     placement: Optional[PlacementConfig] = None
     routing: Optional[RoutingConfig] = None
@@ -56,6 +69,23 @@ class AutoNcsConfig:
             raise ValueError("selection_quantile must lie in (0, 1)")
         if self.max_isc_iterations < 1:
             raise ValueError("max_isc_iterations must be >= 1")
+        if self.clustering not in ("auto", "isc", "hierarchical"):
+            raise ValueError(
+                "clustering must be 'auto', 'isc' or 'hierarchical', "
+                f"got {self.clustering!r}"
+            )
+        if self.tier_size < 1:
+            raise ValueError(f"tier_size must be >= 1, got {self.tier_size}")
+        if self.hierarchical_threshold < 1:
+            raise ValueError(
+                f"hierarchical_threshold must be >= 1, got {self.hierarchical_threshold}"
+            )
+
+    def clustering_for(self, n: int) -> str:
+        """Resolve the clustering driver for a network of ``n`` neurons."""
+        if self.clustering != "auto":
+            return self.clustering
+        return "hierarchical" if n > self.hierarchical_threshold else "isc"
 
     def cache_key(self) -> str:
         """A stable content hash over every knob of this configuration.

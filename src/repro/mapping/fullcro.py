@@ -20,9 +20,29 @@ from repro.mapping.netlist import CrossbarInstance, MappingResult, build_netlist
 from repro.networks.connection_matrix import ConnectionMatrix
 
 
-def _neuron_groups(n: int, group_size: int) -> List[np.ndarray]:
-    """Split ``range(n)`` into consecutive chunks of ``group_size``."""
-    return [np.arange(start, min(start + group_size, n)) for start in range(0, n, group_size)]
+def _block_sorted_edges(
+    network: ConnectionMatrix, max_size: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Edges sorted in FullCro instance order, plus per-block edge counts.
+
+    Returns ``(rows, cols, counts)``: the connection arrays reordered by
+    ``(block_row, block_col, i, j)`` — exactly the order the historical
+    per-block ``np.nonzero`` iteration visited them in — and the number of
+    edges in each non-empty block, in the same block order.
+    """
+    rows, cols = network.connection_arrays()
+    block_rows = rows // max_size
+    block_cols = cols // max_size
+    # lexsort keys: last key is primary → (block_row, block_col, i, j).
+    order = np.lexsort((cols, rows, block_cols, block_rows))
+    rows, cols = rows[order], cols[order]
+    block_rows, block_cols = block_rows[order], block_cols[order]
+    num_blocks = -(-network.size // max_size) if network.size else 0
+    block_key = block_rows * max(num_blocks, 1) + block_cols
+    _, starts, counts = np.unique(block_key, return_index=True, return_counts=True)
+    # np.unique sorts the keys, which matches the (block_row, block_col)
+    # iteration order already established by the lexsort.
+    return rows, cols, counts
 
 
 def fullcro_instances(
@@ -36,28 +56,22 @@ def fullcro_instances(
     """
     if max_size < 1:
         raise ValueError(f"max_size must be >= 1, got {max_size}")
-    matrix = network.matrix
-    groups = _neuron_groups(network.size, max_size)
+    rows, cols, counts = _block_sorted_edges(network, max_size)
     instances: List[CrossbarInstance] = []
-    for gi in groups:
-        for gj in groups:
-            block = matrix[np.ix_(gi, gj)]
-            if not block.any():
-                continue
-            rows_local, cols_local = np.nonzero(block)
-            connections = tuple(
-                (int(gi[r]), int(gj[c])) for r, c in zip(rows_local, cols_local)
+    start = 0
+    for count in counts:
+        stop = start + int(count)
+        block_rows = rows[start:stop]
+        block_cols = cols[start:stop]
+        instances.append(
+            CrossbarInstance(
+                rows=tuple(np.unique(block_rows).tolist()),
+                cols=tuple(np.unique(block_cols).tolist()),
+                size=max_size,
+                connections=tuple(zip(block_rows.tolist(), block_cols.tolist())),
             )
-            active_rows = tuple(int(gi[r]) for r in np.unique(rows_local))
-            active_cols = tuple(int(gj[c]) for c in np.unique(cols_local))
-            instances.append(
-                CrossbarInstance(
-                    rows=active_rows,
-                    cols=active_cols,
-                    size=max_size,
-                    connections=connections,
-                )
-            )
+        )
+        start = stop
     return instances
 
 
@@ -66,11 +80,16 @@ def fullcro_utilization(network: ConnectionMatrix, max_size: int = 64) -> float:
 
     "The iteration of ISC stops when the average crossbar utilization is
     below that of the baseline design" (Sec. 4.2).
+
+    Computed straight from per-block edge counts — never instantiates the
+    crossbars, so it stays O(connections) on 100k-neuron networks.
     """
-    instances = fullcro_instances(network, max_size)
-    if not instances:
+    if max_size < 1:
+        raise ValueError(f"max_size must be >= 1, got {max_size}")
+    _, _, counts = _block_sorted_edges(network, max_size)
+    if counts.size == 0:
         return 0.0
-    return float(np.mean([x.utilization for x in instances]))
+    return float(np.mean(counts.astype(float) / float(max_size * max_size)))
 
 
 def fullcro_mapping(

@@ -14,9 +14,12 @@ from typing import Sequence
 import networkx as nx
 import numpy as np
 
-from repro.networks.connection_matrix import ConnectionMatrix
+from repro.networks.connection_matrix import SPARSE_MIN_SIZE, ConnectionMatrix
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive, check_probability
+
+#: Row-block size for the chunked large-``n`` sampling paths.
+_CHUNK_ROWS = 2048
 
 
 def random_sparse_network(
@@ -26,15 +29,39 @@ def random_sparse_network(
     rng: RngLike = None,
     name: str = "random",
 ) -> ConnectionMatrix:
-    """Uniform random binary network with expected ``density`` off-diagonal fill."""
+    """Uniform random binary network with expected ``density`` off-diagonal fill.
+
+    Large networks (``n >= SPARSE_MIN_SIZE``) are sampled in row blocks and
+    assembled as edges so no dense ``n × n`` array is ever held.  Because
+    ``Generator.random`` fills row-major and successive calls continue the
+    same stream, the chunked path draws the identical boolean field as the
+    dense path — the topology for a given seed does not depend on which
+    path ran.
+    """
     check_positive("n", n)
     check_probability("density", density)
     rng = ensure_rng(rng)
-    w = (rng.random((n, n)) < density).astype(np.uint8)
-    np.fill_diagonal(w, 0)
+    if n < SPARSE_MIN_SIZE:
+        w = (rng.random((n, n)) < density).astype(np.uint8)
+        np.fill_diagonal(w, 0)
+        if symmetric:
+            w = np.maximum(w, w.T)
+        return ConnectionMatrix.from_dense(w, name=name)
+    row_parts = []
+    col_parts = []
+    for start in range(0, n, _CHUNK_ROWS):
+        stop = min(start + _CHUNK_ROWS, n)
+        block = rng.random((stop - start, n)) < density
+        local_rows, cols = np.nonzero(block)
+        rows = local_rows + start
+        off_diagonal = rows != cols
+        row_parts.append(rows[off_diagonal])
+        col_parts.append(cols[off_diagonal])
+    rows = np.concatenate(row_parts) if row_parts else np.empty(0, dtype=np.int64)
+    cols = np.concatenate(col_parts) if col_parts else np.empty(0, dtype=np.int64)
     if symmetric:
-        w = np.maximum(w, w.T)
-    return ConnectionMatrix(w, name=name)
+        rows, cols = np.concatenate([rows, cols]), np.concatenate([cols, rows])
+    return ConnectionMatrix.from_edges(n, (rows, cols), name=name, backend="sparse")
 
 
 def block_diagonal_network(
@@ -63,7 +90,7 @@ def block_diagonal_network(
         start += size
     np.fill_diagonal(w, 0)
     w = np.maximum(w, w.T)
-    return ConnectionMatrix(w, name=name)
+    return ConnectionMatrix.from_dense(w, name=name)
 
 
 def distance_decay_network(
@@ -88,7 +115,7 @@ def distance_decay_network(
     w = (rng.random((n, n)) < probability).astype(np.uint8)
     np.fill_diagonal(w, 0)
     w = np.maximum(w, w.T)
-    return ConnectionMatrix(w, name=name)
+    return ConnectionMatrix.from_dense(w, name=name)
 
 
 def scale_free_network(
@@ -109,6 +136,10 @@ def scale_free_network(
     rng = ensure_rng(rng)
     seed = int(rng.integers(0, 2**31 - 1))
     graph = nx.barabasi_albert_graph(n, attachment, seed=seed)
-    w = nx.to_numpy_array(graph, dtype=np.uint8)
-    np.fill_diagonal(w, 0)
-    return ConnectionMatrix(w, name=name)
+    # Build straight from the (undirected) edge set — equivalent to the old
+    # nx.to_numpy_array densification but memory-safe at 50k+ neurons.
+    pairs = np.array(graph.edges(), dtype=np.int64).reshape(-1, 2)
+    pairs = pairs[pairs[:, 0] != pairs[:, 1]]
+    rows = np.concatenate([pairs[:, 0], pairs[:, 1]])
+    cols = np.concatenate([pairs[:, 1], pairs[:, 0]])
+    return ConnectionMatrix.from_edges(n, (rows, cols), name=name)

@@ -162,7 +162,7 @@ class HopfieldNetwork:
     def connection_matrix(self, name: Optional[str] = None) -> ConnectionMatrix:
         """Binarize the nonzero weights into a :class:`ConnectionMatrix`."""
         binary = (self.weights != 0.0).astype(np.uint8)
-        return ConnectionMatrix(binary, name=name or "hopfield")
+        return ConnectionMatrix.from_dense(binary, name=name or "hopfield")
 
     # ------------------------------------------------------------------
     # Recall dynamics

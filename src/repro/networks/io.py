@@ -2,7 +2,10 @@
 
 Two formats are supported:
 
-* ``.npz`` — compressed numpy archive (canonical).
+* ``.npz`` — compressed numpy archive (canonical).  Dense-backed networks
+  store the full ``matrix`` array (the historical format); sparse-backed
+  ones store the edge arrays (``n``, ``rows``, ``cols``) so a 100k-neuron
+  network round-trips without densifying.  The loader accepts both.
 * edge-list text — one ``i j`` pair per line, human-diffable.
 """
 
@@ -20,26 +23,42 @@ PathLike = Union[str, "os.PathLike[str]"]
 
 def save_network_npz(network: ConnectionMatrix, path: PathLike) -> None:
     """Write ``network`` to a compressed ``.npz`` archive."""
-    np.savez_compressed(
-        path, matrix=network.matrix, name=np.array(network.name)
-    )
+    if network.backend == "dense":
+        np.savez_compressed(
+            path, matrix=network.matrix, name=np.array(network.name)
+        )
+    else:
+        rows, cols = network.connection_arrays()
+        np.savez_compressed(
+            path,
+            n=np.array(network.size, dtype=np.int64),
+            rows=rows,
+            cols=cols,
+            name=np.array(network.name),
+        )
 
 
 def load_network_npz(path: PathLike) -> ConnectionMatrix:
     """Load a network previously written by :func:`save_network_npz`."""
     with np.load(path, allow_pickle=False) as data:
-        if "matrix" not in data:
-            raise ValueError(f"{path!s} is not a saved network (no 'matrix' array)")
-        matrix = data["matrix"]
         name = str(data["name"]) if "name" in data else "network"
-    return ConnectionMatrix(matrix, name=name)
+        if "matrix" in data:
+            return ConnectionMatrix.from_dense(data["matrix"], name=name)
+        if "rows" in data and "cols" in data and "n" in data:
+            return ConnectionMatrix.from_edges(
+                int(data["n"]), (data["rows"], data["cols"]), name=name
+            )
+    raise ValueError(
+        f"{path!s} is not a saved network (no 'matrix' or 'rows'/'cols'/'n' arrays)"
+    )
 
 
 def save_network_edgelist(network: ConnectionMatrix, path: PathLike) -> None:
     """Write the network as a text edge list: header then one ``i j`` per line."""
+    rows, cols = network.connection_arrays()
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(f"# network {network.name} n={network.size}\n")
-        for i, j in network.connection_list():
+        for i, j in zip(rows.tolist(), cols.tolist()):
             handle.write(f"{i} {j}\n")
 
 
@@ -65,7 +84,4 @@ def load_network_edgelist(path: PathLike) -> ConnectionMatrix:
             edges.append((int(i_str), int(j_str)))
     if n is None:
         n = 1 + max((max(i, j) for i, j in edges), default=-1)
-    matrix = np.zeros((n, n), dtype=np.uint8)
-    for i, j in edges:
-        matrix[i, j] = 1
-    return ConnectionMatrix(matrix, name=name)
+    return ConnectionMatrix.from_edges(n, edges, name=name)

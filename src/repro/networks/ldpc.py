@@ -77,4 +77,4 @@ def ldpc_network(
     # variables occupy indices [0, n_vars), checks [n_vars, n)
     w[:n_vars, n_vars:] = h.T
     w[n_vars:, :n_vars] = h
-    return ConnectionMatrix(w, name=name)
+    return ConnectionMatrix.from_dense(w, name=name)

@@ -27,8 +27,7 @@ def fanin_fanout(network: ConnectionMatrix) -> np.ndarray:
     ``fanin(i)`` counts incoming connections (column sum), ``fanout(i)``
     outgoing ones (row sum); the paper sums the two.
     """
-    m = network.matrix.astype(np.int64)
-    return m.sum(axis=1) + m.sum(axis=0)
+    return network.out_degrees() + network.in_degrees()
 
 
 @dataclass
@@ -56,9 +55,8 @@ class DegreeStatistics:
 
 def degree_statistics(network: ConnectionMatrix) -> DegreeStatistics:
     """Compute :class:`DegreeStatistics` for a network."""
-    m = network.matrix.astype(np.int64)
-    fanout = m.sum(axis=1)
-    fanin = m.sum(axis=0)
+    fanout = network.out_degrees()
+    fanin = network.in_degrees()
     total = fanin + fanout
     return DegreeStatistics(
         mean_fanin=float(fanin.mean()) if fanin.size else 0.0,

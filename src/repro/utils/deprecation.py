@@ -1,0 +1,34 @@
+"""The library's deprecation machinery.
+
+Every deprecated surface funnels through :func:`warn_deprecated` so the
+message format is uniform and tests can assert on it: the facade shims in
+:mod:`repro.core`, the raw-``ndarray`` ``ConnectionMatrix(...)``
+constructor (use :meth:`~repro.networks.connection_matrix.
+ConnectionMatrix.from_dense` and friends), and the legacy per-call
+keyword arguments of the public API (use
+:class:`~repro.api.FlowOptions`).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the library's standard :class:`DeprecationWarning`.
+
+    Parameters
+    ----------
+    old / new:
+        Human-readable descriptions of the deprecated surface and its
+        replacement, spliced into the uniform message
+        ``"{old} is deprecated; use {new}"``.
+    stacklevel:
+        Passed to :func:`warnings.warn`; the default (3) points at the
+        caller of the deprecated function rather than the shim itself.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new}",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -73,6 +73,24 @@ class TestSuiteRun:
         assert transient.qor["failures"] == 0.0
         assert transient.qor["checksum"] == null.qor["checksum"]
 
+    def test_clustering_suite_runs_and_pins_verification(self):
+        # The committed profile is 50k neurons; the harness test only
+        # exercises the machinery, so override the dimension down.
+        result = run_suite("clustering", dimension=96)
+        assert result.mode == "scale"
+        assert [r.name for r in result.benchmarks] == [
+            "scale.generate",
+            "scale.cluster",
+            "scale.map",
+            "scale.verify",
+        ]
+        by_name = {record.name: record for record in result.benchmarks}
+        assert by_name["scale.generate"].qor["connections"] > 0
+        assert by_name["scale.map"].qor["netlist_cells"] > 0
+        # The invariants the gate pins: verification must stay clean.
+        assert by_name["scale.verify"].qor["failed_checks"] == 0.0
+        assert by_name["scale.verify"].qor["violations"] == 0.0
+
     def test_unknown_suite_rejected(self):
         with pytest.raises(ValueError, match="unknown bench suite"):
             run_suite("placement")
@@ -80,6 +98,7 @@ class TestSuiteRun:
     def test_every_suite_has_a_baseline_file(self):
         assert set(BASELINE_FILES) == set(SUITES)
         assert BASELINE_FILES["service"] == "BENCH_service.json"
+        assert BASELINE_FILES["clustering"] == "BENCH_clustering.json"
 
 
 class TestMetricGate:

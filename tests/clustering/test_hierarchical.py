@@ -1,0 +1,123 @@
+"""Tests for the tiered clustering pass (:mod:`repro.clustering.hierarchical`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    DEFAULT_TIER_SIZE,
+    cluster_hierarchical,
+    coarse_partition,
+    iterative_spectral_clustering,
+)
+from repro.core.autoncs import AutoNCS
+from repro.core.config import AutoNcsConfig
+from repro.mapping import autoncs_mapping
+from repro.networks import block_diagonal_network, scale_free_network
+
+
+@pytest.fixture(scope="module")
+def tiered_network():
+    """Planted blocks, big enough to split into several tiers of 32."""
+    return block_diagonal_network(
+        [24, 20, 22, 18, 24], within_density=0.6, between_density=0.01, rng=5
+    )
+
+
+class TestCoarsePartition:
+    def test_partitions_all_neurons(self, tiered_network):
+        result = coarse_partition(tiered_network, tier_size=32, rng=0)
+        covered = sorted(m for c in result.clusters for m in c.members)
+        assert covered == list(range(tiered_network.size))
+        assert result.method == "coarse"
+
+    def test_respects_tier_size(self, tiered_network):
+        result = coarse_partition(tiered_network, tier_size=32, rng=0)
+        assert all(c.size <= 32 for c in result.clusters)
+        assert len(result.clusters) >= tiered_network.size // 32
+
+    def test_single_tier_when_network_fits(self, tiered_network):
+        result = coarse_partition(tiered_network, tier_size=10_000, rng=0)
+        assert len(result.clusters) == 1
+
+    def test_rejects_bad_tier_size(self, tiered_network):
+        with pytest.raises(ValueError, match="tier_size"):
+            coarse_partition(tiered_network, tier_size=0)
+
+    def test_deterministic(self, tiered_network):
+        a = coarse_partition(tiered_network, tier_size=32, rng=3)
+        b = coarse_partition(tiered_network, tier_size=32, rng=3)
+        assert [c.members for c in a.clusters] == [c.members for c in b.clusters]
+
+
+class TestClusterHierarchical:
+    def test_small_network_delegates_to_flat_isc(self, tiered_network):
+        tiered = cluster_hierarchical(tiered_network, rng=0)  # size < tier_size
+        flat = iterative_spectral_clustering(tiered_network, rng=0)
+        assert [
+            (a.members, a.size) for a in tiered.crossbars
+        ] == [(a.members, a.size) for a in flat.crossbars]
+        assert tiered.outliers == flat.outliers
+
+    def test_tiered_result_validates(self, tiered_network):
+        result = cluster_hierarchical(tiered_network, tier_size=32, rng=0)
+        result.validate()  # every connection is crossbar xor outlier
+        assert result.metadata["method"] == "hierarchical"
+        assert result.metadata["tiers"] > 1
+        assert result.crossbars
+
+    def test_outlier_ratio_bounded_below_by_cut_ratio(self, tiered_network):
+        result = cluster_hierarchical(tiered_network, tier_size=32, rng=0)
+        assert result.outlier_ratio >= result.metadata["cut_ratio"] - 1e-12
+
+    def test_deterministic(self, tiered_network):
+        a = cluster_hierarchical(tiered_network, tier_size=32, rng=7)
+        b = cluster_hierarchical(tiered_network, tier_size=32, rng=7)
+        assert [(x.members, x.size) for x in a.crossbars] == [
+            (x.members, x.size) for x in b.crossbars
+        ]
+        assert a.outliers == b.outliers
+
+    def test_maps_downstream_unchanged(self, tiered_network):
+        result = cluster_hierarchical(tiered_network, tier_size=32, rng=0)
+        mapping = autoncs_mapping(result)
+        mapping.validate()
+        assert mapping.num_crossbars == len(result.crossbars)
+        assert mapping.num_synapses == len(result.outliers)
+
+    def test_scale_free_sparse_backend(self):
+        # The stress topology, on the sparse backend end to end.
+        net = scale_free_network(200, rng=11)
+        assert net.backend in ("dense", "sparse")
+        result = cluster_hierarchical(net, tier_size=64, rng=1)
+        result.validate()
+        assert result.metadata["tiers"] > 1
+
+    def test_rejects_non_connection_matrix(self):
+        with pytest.raises(TypeError, match="ConnectionMatrix"):
+            cluster_hierarchical(np.zeros((4, 4)))
+
+
+class TestConfigRouting:
+    def test_default_tier_size_exported(self):
+        assert DEFAULT_TIER_SIZE == 1024
+
+    def test_clustering_for_resolves(self):
+        config = AutoNcsConfig()
+        assert config.clustering_for(100) == "isc"
+        assert config.clustering_for(config.hierarchical_threshold + 1) == "hierarchical"
+
+    def test_explicit_modes_override_auto(self):
+        assert AutoNcsConfig(clustering="isc").clustering_for(10**6) == "isc"
+        assert AutoNcsConfig(clustering="hierarchical").clustering_for(10) == "hierarchical"
+
+    def test_invalid_clustering_rejected(self):
+        with pytest.raises(ValueError, match="clustering"):
+            AutoNcsConfig(clustering="magic")
+
+    def test_autoncs_cluster_routes_hierarchical(self, tiered_network):
+        config = AutoNcsConfig(clustering="hierarchical", tier_size=32)
+        result = AutoNCS(config).cluster(tiered_network, rng=0)
+        assert result.metadata["method"] == "hierarchical"
+        result.validate()

@@ -102,3 +102,58 @@ def test_property_msc_always_partitions(seed, k):
     result = modified_spectral_clustering(net, k, rng=seed)
     covered = sorted(m for c in result.clusters for m in c.members)
     assert covered == list(range(30))
+
+
+class TestEigensolverEquivalence:
+    """The sparse (eigsh) path must match the dense (eigh) path at the
+    cutover: same eigenvalues, same invariant subspace, same D-norm."""
+
+    @pytest.fixture(scope="class")
+    def cutover_similarity(self):
+        from scipy import sparse as sp
+
+        from repro.clustering.spectral import DENSE_EIGENSOLVER_CUTOFF, _similarity
+
+        n = DENSE_EIGENSOLVER_CUTOFF + 176  # just past the dense routing
+        net = random_sparse_network(n, 0.008, rng=13)
+        w = _similarity(net)
+        assert sp.issparse(w)  # the large sparse network stays sparse
+        return w
+
+    def test_eigsh_matches_eigh_at_cutover(self, cutover_similarity):
+        from repro.clustering.spectral import _dense_embedding, _sparse_embedding
+
+        w = cutover_similarity
+        k = 12
+        sparse_vecs, sparse_vals = _sparse_embedding(w, k)
+        dense_vecs, dense_vals = _dense_embedding(w.toarray(), k)
+        np.testing.assert_allclose(sparse_vals, dense_vals, atol=1e-9)
+        # Eigenvectors are only defined up to rotation within degenerate
+        # groups: compare the D-orthogonal projectors instead of columns.
+        degrees = np.maximum(np.asarray(w.sum(axis=1)).ravel(), 1e-9)
+        for vecs in (sparse_vecs, dense_vecs):
+            gram = vecs.T @ (vecs * degrees[:, None])
+            np.testing.assert_allclose(gram, np.eye(k), atol=1e-8)
+        scaled_sparse = sparse_vecs * np.sqrt(degrees)[:, None]
+        scaled_dense = dense_vecs * np.sqrt(degrees)[:, None]
+        projector_gap = np.linalg.norm(
+            scaled_sparse @ scaled_sparse.T - scaled_dense @ scaled_dense.T
+        )
+        assert projector_gap < 1e-6
+
+    def test_routing_uses_sparse_solver_past_cutover(self, cutover_similarity):
+        # The public entry point must agree with the dense answer too.
+        from repro.clustering.spectral import _dense_embedding
+
+        w = cutover_similarity
+        basis, values = spectral_embedding(w, k=6)
+        _, dense_values = _dense_embedding(w.toarray(), 6)
+        assert basis.shape == (w.shape[0], 6)
+        np.testing.assert_allclose(values, dense_values, atol=1e-9)
+
+    def test_small_networks_stay_on_the_exact_solver(self, block_network):
+        # tb1–tb3 sizes are far below the cutoff: bit-identical goldens
+        # require the historical eigh path, not an iterative solve.
+        from repro.clustering.spectral import DENSE_EIGENSOLVER_CUTOFF
+
+        assert block_network.size <= DENSE_EIGENSOLVER_CUTOFF

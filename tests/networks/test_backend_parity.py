@@ -1,0 +1,147 @@
+"""Dense-vs-sparse backend parity for :class:`ConnectionMatrix`.
+
+The sparse-first redesign promises that the backend is an implementation
+detail: every operation, digest and downstream flow result is identical
+whether a network lives as a dense ``ndarray`` or a ``csr_array``.  These
+property tests hold that promise under random inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import iterative_spectral_clustering
+from repro.mapping import autoncs_mapping
+from repro.networks import ConnectionMatrix, random_sparse_network
+
+
+def _random_pair(seed: int, n: int, density: float):
+    """The same random network materialized on both backends."""
+    rng = np.random.default_rng(seed)
+    matrix = (rng.random((n, n)) < density).astype(np.uint8)
+    np.fill_diagonal(matrix, 0)
+    dense = ConnectionMatrix.from_dense(matrix, name="parity", backend="dense")
+    sparse = ConnectionMatrix.from_dense(matrix, name="parity", backend="sparse")
+    assert dense.backend == "dense" and sparse.backend == "sparse"
+    return dense, sparse
+
+
+common = given(
+    seed=st.integers(0, 10**6),
+    n=st.integers(2, 40),
+    density=st.floats(0.0, 0.4),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@common
+def test_digest_and_equality_backend_independent(seed, n, density):
+    dense, sparse = _random_pair(seed, n, density)
+    assert dense.digest() == sparse.digest()
+    assert dense == sparse
+    assert dense.num_connections == sparse.num_connections
+    assert dense.density == sparse.density
+    assert dense.is_symmetric() == sparse.is_symmetric()
+
+
+@settings(max_examples=25, deadline=None)
+@common
+def test_views_and_degrees_match(seed, n, density):
+    dense, sparse = _random_pair(seed, n, density)
+    np.testing.assert_array_equal(dense.matrix, sparse.matrix)
+    np.testing.assert_array_equal(dense.out_degrees(), sparse.out_degrees())
+    np.testing.assert_array_equal(dense.in_degrees(), sparse.in_degrees())
+    assert dense.connection_list() == sparse.connection_list()
+    d_rows, d_cols = dense.connection_arrays()
+    s_rows, s_cols = sparse.connection_arrays()
+    np.testing.assert_array_equal(d_rows, s_rows)
+    np.testing.assert_array_equal(d_cols, s_cols)
+
+
+@settings(max_examples=25, deadline=None)
+@common
+def test_cluster_operations_match(seed, n, density):
+    dense, sparse = _random_pair(seed, n, density)
+    rng = np.random.default_rng(seed + 1)
+    members = np.sort(rng.choice(n, size=max(1, n // 3), replace=False))
+    rest = np.setdiff1d(np.arange(n), members)
+    assert dense.connections_within(members) == sparse.connections_within(members)
+    np.testing.assert_array_equal(
+        dense.submatrix(members), sparse.submatrix(members)
+    )
+    if rest.size:
+        np.testing.assert_array_equal(
+            dense.submatrix(members, rest), sparse.submatrix(members, rest)
+        )
+        clusters = [members.tolist(), rest.tolist()]
+        np.testing.assert_array_equal(
+            dense.connections_within_many(clusters),
+            sparse.connections_within_many(clusters),
+        )
+    assert (
+        dense.remove_cluster(members.tolist()).digest()
+        == sparse.remove_cluster(members.tolist()).digest()
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@common
+def test_permuted_and_similarity_match(seed, n, density):
+    dense, sparse = _random_pair(seed, n, density)
+    order = np.random.default_rng(seed + 2).permutation(n)
+    assert dense.permuted(order).digest() == sparse.permuted(order).digest()
+    d_sim = np.asarray(dense.similarity(), dtype=float)
+    s_sim = sparse.similarity()
+    s_sim = s_sim.toarray() if hasattr(s_sim, "toarray") else np.asarray(s_sim)
+    np.testing.assert_allclose(d_sim, s_sim.astype(float))
+
+
+@settings(max_examples=25, deadline=None)
+@common
+def test_with_backend_round_trip(seed, n, density):
+    dense, sparse = _random_pair(seed, n, density)
+    assert dense.with_backend("sparse").digest() == dense.digest()
+    assert sparse.with_backend("dense").digest() == sparse.digest()
+    assert dense.with_backend("sparse").backend == "sparse"
+    assert sparse.with_backend("dense").backend == "dense"
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_from_edges_matches_from_dense(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 30))
+    matrix = (rng.random((n, n)) < 0.2).astype(np.uint8)
+    np.fill_diagonal(matrix, 0)
+    rows, cols = np.nonzero(matrix)
+    via_dense = ConnectionMatrix.from_dense(matrix)
+    via_arrays = ConnectionMatrix.from_edges(n, (rows, cols))
+    via_pairs = ConnectionMatrix.from_edges(n, list(zip(rows, cols)))
+    assert via_dense.digest() == via_arrays.digest() == via_pairs.digest()
+
+
+@settings(max_examples=5, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_clustering_and_mapping_backend_independent(seed):
+    """The whole ISC → mapping pipeline is backend-blind for a fixed seed."""
+    net = random_sparse_network(36, 0.12, rng=seed)
+    dense = net.with_backend("dense")
+    sparse = net.with_backend("sparse")
+    isc_dense = iterative_spectral_clustering(
+        dense, utilization_threshold=0.02, max_iterations=5, rng=seed
+    )
+    isc_sparse = iterative_spectral_clustering(
+        sparse, utilization_threshold=0.02, max_iterations=5, rng=seed
+    )
+    assert [
+        (a.members, a.size, a.connections) for a in isc_dense.crossbars
+    ] == [(a.members, a.size, a.connections) for a in isc_sparse.crossbars]
+    assert isc_dense.outliers == isc_sparse.outliers
+    map_dense = autoncs_mapping(isc_dense)
+    map_sparse = autoncs_mapping(isc_sparse)
+    map_dense.validate()
+    map_sparse.validate()
+    assert map_dense.num_crossbars == map_sparse.num_crossbars
+    assert map_dense.num_synapses == map_sparse.num_synapses

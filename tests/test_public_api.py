@@ -32,7 +32,7 @@ def network():
 #: renames are an API break and must bump the major version.
 PUBLIC_API = {
     # facade
-    "map_network", "compare", "verify",
+    "map_network", "compare", "verify", "load_network", "FlowOptions",
     # flow objects
     "AutoNCS", "AutoNcsConfig", "AutoNcsResult", "ComparisonReport",
     "fast_config",
@@ -50,7 +50,13 @@ def test_public_api_snapshot():
 
 
 def test_api_module_all():
-    assert set(repro.api.__all__) == {"compare", "map_network", "verify"}
+    assert set(repro.api.__all__) == {
+        "FlowOptions",
+        "compare",
+        "load_network",
+        "map_network",
+        "verify",
+    }
 
 
 def test_version_is_semver():
