@@ -74,8 +74,10 @@ class FlowOptions:
         Flow configuration; ``None`` means the paper defaults
         (:class:`~repro.core.config.AutoNcsConfig`; see also
         :func:`~repro.core.config.fast_config`).  Clustering scale-up,
-        routing algorithm, technology — everything pipeline-level —
-        lives here.
+        routing algorithm and kernel (``config.routing.kernel``:
+        compiled Numba maze search vs the bit-identical python
+        reference), technology — everything pipeline-level — lives
+        here.
     seed:
         RNG seed material (int, :class:`numpy.random.Generator` or
         ``None`` for nondeterministic).

@@ -146,18 +146,22 @@ def _resilience_from_args(args: argparse.Namespace, fail_fast: bool = True):
     )
 
 
-def _apply_router(config: AutoNcsConfig, router: Optional[str]) -> AutoNcsConfig:
-    """Override the routing algorithm when ``--router`` asked for one."""
-    if not router:
+def _apply_routing_overrides(
+    config: AutoNcsConfig, router: Optional[str], kernel: Optional[str] = None
+) -> AutoNcsConfig:
+    """Apply ``--router`` / ``--kernel`` overrides to the routing config."""
+    if not router and not kernel:
         return config
     import dataclasses
 
     from repro.physical.routing.router import RoutingConfig
 
     routing = config.routing if config.routing is not None else RoutingConfig()
-    return dataclasses.replace(
-        config, routing=dataclasses.replace(routing, algorithm=router)
-    )
+    if router:
+        routing = dataclasses.replace(routing, algorithm=router)
+    if kernel:
+        routing = dataclasses.replace(routing, kernel=kernel)
+    return dataclasses.replace(config, routing=routing)
 
 
 def _load_or_generate(args: argparse.Namespace) -> ConnectionMatrix:
@@ -192,7 +196,9 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         network, _hopfield = _resolve_testbench_network(args)
     else:
         network = _load_or_generate(args)
-    config = _apply_router(fast_config() if args.fast else AutoNcsConfig(), args.router)
+    config = _apply_routing_overrides(
+        fast_config() if args.fast else AutoNcsConfig(), args.router, args.kernel
+    )
     print(f"network: {network}")
     with _observability(args.trace, args.metrics):
         report = api_compare(
@@ -339,7 +345,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from repro.api import verify as api_verify
 
-    config = _apply_router(fast_config() if args.fast else AutoNcsConfig(), args.router)
+    config = _apply_routing_overrides(
+        fast_config() if args.fast else AutoNcsConfig(), args.router, args.kernel
+    )
     hopfield = None
     if args.testbench:
         network, hopfield = _resolve_testbench_network(args)
@@ -435,6 +443,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--router", choices=("ordered", "negotiated"), default=None,
                          help="routing algorithm override (default: config's, "
                               "i.e. ordered)")
+    compare.add_argument("--kernel", choices=("auto", "numba", "python"),
+                         default=None,
+                         help="maze-search implementation: compiled numba "
+                              "kernel or the python reference (default: "
+                              "config's, i.e. auto)")
     _add_resilience_arguments(compare)
     _add_observability_arguments(compare)
     compare.set_defaults(func=_cmd_compare)
@@ -537,6 +550,11 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--router", choices=("ordered", "negotiated"), default=None,
                         help="routing algorithm override (default: config's, "
                              "i.e. ordered)")
+    verify.add_argument("--kernel", choices=("auto", "numba", "python"),
+                        default=None,
+                        help="maze-search implementation: compiled numba "
+                             "kernel or the python reference (default: "
+                             "config's, i.e. auto)")
     _add_observability_arguments(verify)
     verify.set_defaults(func=_cmd_verify)
 

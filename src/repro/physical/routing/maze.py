@@ -9,6 +9,15 @@ the caller allows overflow (used by the final never-fail pass).
 The inner search runs on flat numpy arrays reused across calls (an epoch
 counter invalidates stale state instead of reallocating), which keeps the
 per-wire cost low enough to route tens of thousands of wires in seconds.
+Per-target heuristic arrays are memoized on the workspace
+(:meth:`MazeWorkspace.heuristic`), so repeated searches toward the same
+goal bin — fan-in wires, relax-round retries, rip-up reroutes — reuse one
+vectorized build instead of recomputing the Manhattan term per neighbour.
+
+This module is the **reference implementation**: the compiled twin in
+:mod:`repro.physical.routing.kernel` (``RoutingConfig.kernel``) must
+reproduce its paths, counters and costs bit-for-bit, and the differential
+suite ``tests/physical/test_kernel_parity.py`` holds it to that.
 
 The same wave expansion also serves the negotiated-congestion router
 (:mod:`repro.physical.routing.negotiated`): passing ``present_weight``
@@ -23,11 +32,15 @@ through rising present costs and accumulated history, not hard walls.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.physical.routing.grid import BinCoord, RoutingGrid
+
+#: Per-target heuristic arrays kept on a workspace before FIFO eviction
+#: (bounds memory on grids where nearly every bin is some wire's goal).
+_HEURISTIC_CACHE_LIMIT = 256
 
 
 class MazeWorkspace:
@@ -38,6 +51,12 @@ class MazeWorkspace:
     reports the totals to the current observability recorder once per
     :func:`~repro.physical.routing.router.route` call, keeping the inner
     loop free of instrumentation calls.
+
+    The compiled kernel (:mod:`repro.physical.routing.kernel`) shares
+    these arrays and adds its own lazily-allocated state: preallocated
+    binary-heap arrays (``ensure_heap``) and a growable flat path buffer
+    (``ensure_path_buffer``), plus ``kernel_batches``/``kernel_wires``
+    ticks the router reports alongside the search counters.
     """
 
     def __init__(self, grid: RoutingGrid) -> None:
@@ -53,10 +72,21 @@ class MazeWorkspace:
         self.visited_bins = 0
         self.searches = 0
         self.ripups = 0
+        self.kernel_batches = 0
+        self.kernel_wires = 0
         # Negotiated-congestion history costs (dimensionless multiples of
         # θ), allocated lazily so the ordered router pays nothing.
         self.h_history: Optional[np.ndarray] = None
         self.v_history: Optional[np.ndarray] = None
+        # Per-target memoized heuristic arrays (flat, float64) and their
+        # build/hit accounting — see :meth:`heuristic`.
+        self._heuristic_cache: Dict[int, np.ndarray] = {}
+        self.heuristic_builds = 0
+        self.heuristic_hits = 0
+        # Kernel state, allocated on first kernel batch.
+        self.heap_f: Optional[np.ndarray] = None
+        self.heap_n: Optional[np.ndarray] = None
+        self.path_out: Optional[np.ndarray] = None
 
     def begin(self) -> None:
         """Start a fresh search; previous state becomes stale by epoch."""
@@ -70,6 +100,44 @@ class MazeWorkspace:
             self.v_history = np.zeros(self.grid.vertical_usage.shape)
         return self.h_history, self.v_history
 
+    def heuristic(self, goal_flat: int) -> np.ndarray:
+        """The flat Manhattan-distance heuristic toward ``goal_flat``.
+
+        Built vectorized once per distinct target and memoized (FIFO
+        eviction beyond ``_HEURISTIC_CACHE_LIMIT`` entries), so searches
+        that repeat a goal bin — fan-in wires, relax retries, rip-up
+        reroutes — skip the rebuild.  Values are bit-identical to the
+        scalar ``(|Δx| + |Δy|) · θ`` form: integer distances are exact
+        in float64, so one multiply by θ matches the inline expression.
+        """
+        cached = self._heuristic_cache.get(goal_flat)
+        if cached is not None:
+            self.heuristic_hits += 1
+            return cached
+        grid = self.grid
+        gx, gy = goal_flat // grid.ny, goal_flat % grid.ny
+        bx = np.arange(grid.nx, dtype=np.int64)[:, None]
+        by = np.arange(grid.ny, dtype=np.int64)[None, :]
+        table = ((np.abs(bx - gx) + np.abs(by - gy)) * grid.bin_um).ravel()
+        if len(self._heuristic_cache) >= _HEURISTIC_CACHE_LIMIT:
+            self._heuristic_cache.pop(next(iter(self._heuristic_cache)))
+        self._heuristic_cache[goal_flat] = table
+        self.heuristic_builds += 1
+        return table
+
+    def ensure_heap(self, capacity: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The kernel's binary-heap arrays, (re)allocated to ``capacity``."""
+        if self.heap_f is None or self.heap_f.shape[0] < capacity:
+            self.heap_f = np.empty(capacity, dtype=np.float64)
+            self.heap_n = np.empty(capacity, dtype=np.int32)
+        return self.heap_f, self.heap_n
+
+    def ensure_path_buffer(self, capacity: int) -> np.ndarray:
+        """The kernel's flat path-output buffer (grows across batches)."""
+        if self.path_out is None or self.path_out.shape[0] < capacity:
+            self.path_out = np.empty(capacity, dtype=np.int32)
+        return self.path_out
+
 
 def maze_route(
     grid: RoutingGrid,
@@ -81,6 +149,7 @@ def maze_route(
     overflow_penalty: float = 10.0,
     workspace: Optional[MazeWorkspace] = None,
     present_weight: Optional[float] = None,
+    kernel: Optional[str] = None,
 ) -> Optional[List[BinCoord]]:
     """Find a min-cost bin path from ``start`` to ``goal``.
 
@@ -93,6 +162,11 @@ def maze_route(
     overuse)`` against the workspace's history arrays; edges are never
     blocked in that mode.
 
+    ``kernel`` selects the implementation per
+    :func:`~repro.physical.routing.kernel.resolve_kernel` (``None`` is
+    the Python reference); the compiled path is bit-identical and does
+    **not** commit usage — callers update the grid either way.
+
     Returns the bin path including both endpoints, or ``None`` when no
     path exists under the current capacities (with ``allow_overflow`` or
     ``present_weight`` a path always exists on a connected grid).
@@ -101,6 +175,24 @@ def maze_route(
         raise ValueError(f"window_margin must be >= 0, got {window_margin}")
     if workspace is None:
         workspace = MazeWorkspace(grid)
+    if kernel is not None:
+        from repro.physical.routing.kernel import resolve_kernel, route_wires_kernel
+
+        if resolve_kernel(kernel) == "numba":
+            # Single-wire batch; the kernel must not commit usage here
+            # (maze_route's contract leaves the grid untouched), so run
+            # it and roll the committed path back.
+            paths, _ = route_wires_kernel(
+                grid, workspace, [(start, goal)],
+                window_margin=window_margin,
+                congestion_weight=congestion_weight,
+                allow_overflow=allow_overflow,
+                overflow_penalty=overflow_penalty,
+                present_weight=present_weight,
+            )
+            if paths[0] is not None:
+                grid.add_usage(paths[0], amount=-1)
+            return paths[0]
     path = _a_star(
         grid, start, goal, window_margin, congestion_weight,
         allow_overflow, overflow_penalty, workspace, present_weight,
@@ -149,6 +241,7 @@ def _a_star(
 
     start_flat = start[0] * ny + start[1]
     goal_flat = gx * ny + gy
+    heur = ws.heuristic(goal_flat)
     g_score[start_flat] = 0.0
     stamp[start_flat] = epoch
     parent[start_flat] = -1
@@ -158,7 +251,7 @@ def _a_star(
     pushes = 1
     pops = 0
     visited = 0
-    open_heap = [((abs(start[0] - gx) + abs(start[1] - gy)) * theta, start_flat)]
+    open_heap = [(heur[start_flat], start_flat)]
     while open_heap:
         _, current = heapq.heappop(open_heap)
         pops += 1
@@ -212,8 +305,7 @@ def _a_star(
                 g_score[neighbor] = tentative
                 stamp[neighbor] = epoch
                 parent[neighbor] = current
-                heuristic = (abs(nbx - gx) + abs(nby - gy)) * theta
-                heapq.heappush(open_heap, (tentative + heuristic, neighbor))
+                heapq.heappush(open_heap, (tentative + heur[neighbor], neighbor))
                 pushes += 1
     ws.heap_pushes += pushes
     ws.heap_pops += pops
